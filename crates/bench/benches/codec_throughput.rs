@@ -1,0 +1,55 @@
+//! Compression/decompression throughput of FRSZ2 on the host CPU,
+//! against the cast formats. (The H100 numbers come from the gpusim
+//! cost model — `fig04_roofline`; this bench gives real, if CPU-scale,
+//! wall-clock rates.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frsz2::{Frsz2Config, Frsz2Vector};
+
+fn krylov_like(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64) * 0.618).sin()).collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = krylov_like(n);
+    let mut g = c.benchmark_group("frsz2");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for l in [16u32, 21, 32, 64] {
+        let cfg = Frsz2Config::new(32, l);
+        g.bench_with_input(BenchmarkId::new("compress", l), &l, |b, _| {
+            b.iter(|| Frsz2Vector::compress(cfg, &data))
+        });
+        let v = Frsz2Vector::compress(cfg, &data);
+        let mut out = vec![0.0; n];
+        g.bench_with_input(BenchmarkId::new("decompress", l), &l, |b, _| {
+            b.iter(|| v.decompress_into(&mut out))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("cast");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("f32_roundtrip", |b| {
+        let mut out = vec![0.0f64; n];
+        b.iter(|| {
+            for (o, &x) in out.iter_mut().zip(&data) {
+                *o = x as f32 as f64;
+            }
+        })
+    });
+    g.bench_function("f16_roundtrip", |b| {
+        let mut out = vec![0.0f64; n];
+        b.iter(|| {
+            for (o, &x) in out.iter_mut().zip(&data) {
+                *o = numfmt::F16::from_f64(x).to_f64();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The orthogonalization kernels (`h = Vᵀw`, `w ← w − Vh`) against each
+//! basis storage format — the memory-bound core that CB-GMRES
+//! accelerates by compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frsz2::Frsz2Store;
+use krylov::Basis;
+use numfmt::{ColumnStorage, DenseStore, F16};
+
+fn bench_ortho(c: &mut Criterion) {
+    let n = 200_000;
+    let k = 20; // columns already in the basis
+    let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).sin()).collect();
+
+    fn setup<S: ColumnStorage>(n: usize, k: usize) -> Basis<S> {
+        let mut basis = Basis::<S>::new(n, k + 1);
+        for j in 0..k {
+            let v: Vec<f64> = (0..n).map(|i| ((i + j * 31) as f64 * 0.11).sin()).collect();
+            basis.write(j, &v);
+        }
+        basis
+    }
+
+    macro_rules! run {
+        ($name:literal, $store:ty) => {{
+            let basis = setup::<$store>(n, k);
+            let mut g = c.benchmark_group("ortho");
+            g.sample_size(10);
+            g.throughput(Throughput::Bytes((k * basis.column_bytes()) as u64));
+            let mut h = vec![0.0; k];
+            g.bench_function(BenchmarkId::new("dots", $name), |b| {
+                b.iter(|| basis.dots(k, &w, &mut h))
+            });
+            let alpha = vec![0.001; k];
+            let mut wv = w.clone();
+            g.bench_function(BenchmarkId::new("axpys", $name), |b| {
+                b.iter(|| basis.axpys(k, &alpha, &mut wv))
+            });
+            g.finish();
+        }};
+    }
+
+    run!("float64", DenseStore<f64>);
+    run!("float32", DenseStore<f32>);
+    run!("float16", DenseStore<F16>);
+    run!("frsz2_32", Frsz2Store);
+}
+
+criterion_group!(benches, bench_ortho);
+criterion_main!(benches);

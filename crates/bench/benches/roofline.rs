@@ -1,0 +1,72 @@
+//! CPU-native arithmetic-intensity sweep: the Fig. 4 benchmark run for
+//! real on this host (the modeled-H100 version lives in
+//! `fig04_roofline`). Shapes differ from the paper's because a CPU has
+//! ~10 spare ops per loaded value, not ~100 — which is itself a
+//! documented observation of the reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frsz2::{Frsz2Config, Frsz2Vector};
+
+fn bench_roofline(c: &mut Criterion) {
+    let n = 1 << 21; // 16 MiB of f64: past LLC
+    let data: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.618).sin()).collect();
+    let f32data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+    let z = Frsz2Vector::compress(Frsz2Config::new(32, 32), &data);
+
+    for ai in [1u32, 8, 64] {
+        let mut g = c.benchmark_group(format!("ai_{ai}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(n as u64));
+        let flops = ai;
+        g.bench_with_input(BenchmarkId::new("float64", ai), &ai, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &v in &data {
+                    let mut x = v;
+                    for _ in 0..flops {
+                        x = x.mul_add(1.0000001, 1e-30);
+                    }
+                    acc += x;
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("acc_float32", ai), &ai, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &v in &f32data {
+                    let mut x = v as f64;
+                    for _ in 0..flops {
+                        x = x.mul_add(1.0000001, 1e-30);
+                    }
+                    acc += x;
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("acc_frsz2_32", ai), &ai, |b, _| {
+            let mut buf = vec![0.0f64; 4096];
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                let mut start = 0;
+                while start < n {
+                    let len = 4096.min(n - start);
+                    z.decompress_range(start, &mut buf[..len]);
+                    for &v in &buf[..len] {
+                        let mut x = v;
+                        for _ in 0..flops {
+                            x = x.mul_add(1.0000001, 1e-30);
+                        }
+                        acc += x;
+                    }
+                    start += len;
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_roofline);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! SpMV throughput on the suite operators (GMRES step 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(10);
+    for name in ["atmosmodd", "cfd2", "PR02R"] {
+        let m = spla::suite::build(name, 0.6).expect("suite matrix");
+        let a = m.matrix;
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; a.rows()];
+        g.throughput(Throughput::Bytes(a.spmv_bytes() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| a.spmv(&x, &mut y))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

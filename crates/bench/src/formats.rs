@@ -1,0 +1,155 @@
+//! Runtime resolution of storage-format names to solver invocations.
+//!
+//! Accepted names (paper nomenclature):
+//! `float64`, `float32`, `float16`, `bfloat16`, `frsz2_16`, `frsz2_21`,
+//! `frsz2_32` (any `frsz2_<l>` with `2 <= l <= 64`), and every Table II
+//! compressor configuration (`sz3_06`, `zfp_fr_32`, ...), which run as
+//! LibPressio-style round-trip storage.
+
+use frsz2::{Frsz2Config, Frsz2Store};
+use krylov::{gmres, gmres_with, GmresOptions, Identity, SolveResult};
+use lossy::RoundTripStore;
+use numfmt::{DenseStore, BF16, F16};
+use spla::Csr;
+
+/// A resolved storage format.
+#[derive(Clone, Debug)]
+pub enum FormatSpec {
+    F64,
+    F32,
+    F16,
+    BF16,
+    Frsz2 { block_size: u32, bits: u32 },
+    /// Table II codec round-trip (by registry name).
+    Lossy(String),
+}
+
+impl FormatSpec {
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            FormatSpec::F64 => "float64".into(),
+            FormatSpec::F32 => "float32".into(),
+            FormatSpec::F16 => "float16".into(),
+            FormatSpec::BF16 => "bfloat16".into(),
+            FormatSpec::Frsz2 { bits, .. } => format!("frsz2_{bits}"),
+            FormatSpec::Lossy(n) => n.clone(),
+        }
+    }
+}
+
+/// Parse a format name. Returns `None` for unknown names.
+pub fn parse(name: &str) -> Option<FormatSpec> {
+    match name {
+        "float64" | "f64" => return Some(FormatSpec::F64),
+        "float32" | "f32" => return Some(FormatSpec::F32),
+        "float16" | "f16" => return Some(FormatSpec::F16),
+        "bfloat16" | "bf16" => return Some(FormatSpec::BF16),
+        _ => {}
+    }
+    if let Some(bits) = name.strip_prefix("frsz2_") {
+        if let Ok(bits) = bits.parse::<u32>() {
+            if (2..=64).contains(&bits) {
+                return Some(FormatSpec::Frsz2 {
+                    block_size: 32,
+                    bits,
+                });
+            }
+        }
+        return None;
+    }
+    if lossy::registry::by_name(name).is_some() {
+        return Some(FormatSpec::Lossy(name.to_string()));
+    }
+    None
+}
+
+/// The four storage formats of the paper's Figs. 7/8/11.
+pub fn standard_formats() -> Vec<FormatSpec> {
+    vec![
+        FormatSpec::F64,
+        FormatSpec::F32,
+        FormatSpec::F16,
+        FormatSpec::Frsz2 {
+            block_size: 32,
+            bits: 32,
+        },
+    ]
+}
+
+/// Solve `A x = b` from `x0` with the Krylov basis held in `spec`
+/// (unpreconditioned, as in §V-C).
+pub fn solve(a: &Csr, b: &[f64], x0: &[f64], opts: &GmresOptions, spec: &FormatSpec) -> SolveResult {
+    match spec {
+        FormatSpec::F64 => gmres::<DenseStore<f64>, _>(a, b, x0, opts, &Identity),
+        FormatSpec::F32 => gmres::<DenseStore<f32>, _>(a, b, x0, opts, &Identity),
+        FormatSpec::F16 => gmres::<DenseStore<F16>, _>(a, b, x0, opts, &Identity),
+        FormatSpec::BF16 => gmres::<DenseStore<BF16>, _>(a, b, x0, opts, &Identity),
+        FormatSpec::Frsz2 { block_size, bits } => {
+            let cfg = Frsz2Config::new(*block_size, *bits);
+            gmres_with(a, b, x0, opts, &Identity, |r, c| {
+                Frsz2Store::with_config(cfg, r, c)
+            })
+        }
+        FormatSpec::Lossy(name) => {
+            let codec = lossy::registry::by_name(name)
+                .unwrap_or_else(|| panic!("unknown codec {name}"));
+            gmres_with(a, b, x0, opts, &Identity, |r, c| {
+                RoundTripStore::new(codec, r, c)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_names() {
+        assert!(matches!(parse("float64"), Some(FormatSpec::F64)));
+        assert!(matches!(parse("float16"), Some(FormatSpec::F16)));
+        assert!(matches!(
+            parse("frsz2_32"),
+            Some(FormatSpec::Frsz2 { block_size: 32, bits: 32 })
+        ));
+        assert!(matches!(
+            parse("frsz2_21"),
+            Some(FormatSpec::Frsz2 { bits: 21, .. })
+        ));
+        assert!(matches!(parse("sz3_08"), Some(FormatSpec::Lossy(_))));
+        assert!(matches!(parse("zfp_fr_16"), Some(FormatSpec::Lossy(_))));
+        assert!(parse("frsz2_99").is_none());
+        assert!(parse("whatever").is_none());
+    }
+
+    #[test]
+    fn solve_via_spec_matches_direct_call() {
+        let a = spla::gen::conv_diff_3d(6, 6, 6, [0.3, 0.1, 0.0], 0.3);
+        let (_, b) = spla::dense::manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let opts = GmresOptions {
+            target_rrn: 1e-8,
+            max_iters: 500,
+            ..GmresOptions::default()
+        };
+        let via_spec = solve(&a, &b, &x0, &opts, &parse("frsz2_32").unwrap());
+        let direct = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
+        assert_eq!(via_spec.stats.iterations, direct.stats.iterations);
+        assert_eq!(via_spec.stats.format, "frsz2_32");
+    }
+
+    #[test]
+    fn lossy_roundtrip_format_converges() {
+        let a = spla::gen::conv_diff_3d(6, 6, 6, [0.2, 0.1, 0.0], 0.4);
+        let (_, b) = spla::dense::manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let opts = GmresOptions {
+            target_rrn: 1e-6,
+            max_iters: 500,
+            ..GmresOptions::default()
+        };
+        let r = solve(&a, &b, &x0, &opts, &parse("zfp_fr_32").unwrap());
+        assert!(r.stats.converged, "zfp_fr_32 should converge, rrn {}", r.stats.final_rrn);
+    }
+}

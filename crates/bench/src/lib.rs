@@ -1,0 +1,13 @@
+//! Experiment harness shared by the figure/table binaries.
+//!
+//! * [`formats`] — resolves the paper's storage-format names
+//!   (`float64`, `float32`, `float16`, `frsz2_32`, Table II compressor
+//!   configs) to concrete solver invocations,
+//! * [`runner`] — builds suite problems, runs solves, times them,
+//! * [`report`] — aligned-column console tables and CSV emission into
+//!   `results/`.
+
+pub mod formats;
+pub mod model;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,218 @@
+//! Shared experiment plumbing: CLI options, problem setup, solve loops.
+
+use crate::formats::{self, FormatSpec};
+use krylov::{GmresOptions, SolveResult};
+use spla::dense::manufactured_rhs;
+use spla::suite::{self, SuiteMatrix};
+use spla::Csr;
+
+/// Common command-line options of the experiment binaries.
+///
+/// `--scale S` linear-dimension scale of the synthetic analogues
+/// (default 1.0), `--runs N` repetitions for timing figures, `--matrix
+/// NAME` restrict to one matrix, `--format NAME` restrict to one format,
+/// `--mtx PATH` load a real MatrixMarket file instead of the analogue,
+/// `--max-iters N` iteration cap.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    pub scale: f64,
+    pub runs: usize,
+    pub matrix: Option<String>,
+    pub format: Option<String>,
+    pub mtx: Option<String>,
+    pub max_iters: usize,
+    /// Override the stopping target (probe/calibration use).
+    pub target: Option<f64>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 1.0,
+            runs: 3,
+            matrix: None,
+            format: None,
+            mtx: None,
+            max_iters: 20_000,
+            target: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse `std::env::args`, ignoring unknown flags (each binary may
+    /// add its own).
+    pub fn parse() -> Cli {
+        Cli::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument list (testable).
+    pub fn parse_from(args: Vec<String>) -> Cli {
+        let mut cli = Cli::default();
+        let mut i = 0;
+        while i < args.len() {
+            let next = args.get(i + 1).cloned();
+            let mut took = true;
+            match (args[i].as_str(), next) {
+                ("--scale", Some(v)) => cli.scale = v.parse().expect("bad --scale"),
+                ("--runs", Some(v)) => cli.runs = v.parse().expect("bad --runs"),
+                ("--matrix", Some(v)) => cli.matrix = Some(v),
+                ("--format", Some(v)) => cli.format = Some(v),
+                ("--mtx", Some(v)) => cli.mtx = Some(v),
+                ("--max-iters", Some(v)) => cli.max_iters = v.parse().expect("bad --max-iters"),
+                ("--target", Some(v)) => cli.target = Some(v.parse().expect("bad --target")),
+                _ => took = false,
+            }
+            i += if took { 2 } else { 1 };
+        }
+        cli
+    }
+
+    /// Matrices selected by this invocation.
+    pub fn matrices(&self) -> Vec<&'static str> {
+        match &self.matrix {
+            Some(m) => suite::names().into_iter().filter(|n| *n == m).collect(),
+            None => suite::names(),
+        }
+    }
+}
+
+/// A fully-prepared problem: operator, RHS, expected solution, target.
+pub struct Problem {
+    pub name: String,
+    pub matrix: Csr,
+    pub b: Vec<f64>,
+    pub x_expected: Vec<f64>,
+    pub target_rrn: f64,
+}
+
+/// Build a suite problem (or load `--mtx`) with the §V-B deterministic
+/// right-hand side.
+pub fn prepare(name: &str, cli: &Cli) -> Problem {
+    let (matrix, target_rrn) = match &cli.mtx {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            let coo = spla::io::read_matrix_market(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+            let t = suite::entry(name).map(|e| e.target_rrn).unwrap_or(1e-10);
+            (coo.to_csr(), t)
+        }
+        None => {
+            let SuiteMatrix { entry, matrix } = suite::build(name, cli.scale)
+                .unwrap_or_else(|| panic!("unknown matrix {name}"));
+            // Synthetic analogues use the §V-C-calibrated analogue target;
+            // real .mtx inputs use the paper's Table I value.
+            let t = suite::analogue_target(name).unwrap_or(entry.target_rrn);
+            (matrix, t)
+        }
+    };
+    let (x_expected, b) = manufactured_rhs(&matrix);
+    Problem {
+        name: name.to_string(),
+        matrix,
+        b,
+        x_expected,
+        target_rrn,
+    }
+}
+
+/// Default solver options for a problem (restart 100, §V-B).
+pub fn default_opts(p: &Problem, cli: &Cli) -> GmresOptions {
+    GmresOptions {
+        restart: 100,
+        max_iters: cli.max_iters,
+        target_rrn: cli.target.unwrap_or(p.target_rrn),
+        record_history: true,
+        ..GmresOptions::default()
+    }
+}
+
+/// Solve `p` with the given format.
+pub fn solve_problem(p: &Problem, opts: &GmresOptions, spec: &FormatSpec) -> SolveResult {
+    let x0 = vec![0.0; p.matrix.rows()];
+    formats::solve(&p.matrix, &p.b, &x0, opts, spec)
+}
+
+/// Run `p` once per named format and collect the results (convergence
+/// figures 5/6/9).
+pub fn convergence_histories(
+    p: &Problem,
+    opts: &GmresOptions,
+    format_names: &[&str],
+) -> Vec<(String, SolveResult)> {
+    format_names
+        .iter()
+        .map(|name| {
+            let spec = formats::parse(name).unwrap_or_else(|| panic!("unknown format {name}"));
+            let r = solve_problem(p, opts, &spec);
+            eprintln!(
+                "  {name}: iters={} converged={} final_rrn={:.2e} bits/value={:.1}",
+                r.stats.iterations, r.stats.converged, r.stats.final_rrn,
+                r.stats.basis_bits_per_value,
+            );
+            (name.to_string(), r)
+        })
+        .collect()
+}
+
+/// Emit residual histories in long CSV form and print the run summary.
+pub fn report_histories(csv_name: &str, runs: &[(String, SolveResult)]) {
+    let mut rows = Vec::new();
+    for (name, r) in runs {
+        for h in &r.history {
+            rows.push(vec![
+                name.clone(),
+                h.iteration.to_string(),
+                format!("{:.6e}", h.rrn),
+                if h.explicit { "explicit" } else { "implicit" }.to_string(),
+            ]);
+        }
+    }
+    let path = crate::report::write_csv(csv_name, &["format", "iteration", "rrn", "kind"], &rows)
+        .expect("write csv");
+    let summary: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                r.stats.iterations.to_string(),
+                if r.stats.converged { "yes" } else { "NO" }.to_string(),
+                format!("{:.2e}", r.stats.final_rrn),
+                format!("{:.1}", r.stats.basis_bits_per_value),
+            ]
+        })
+        .collect();
+    crate::report::print_table(
+        &["format", "iterations", "converged", "final_rrn", "bits/value"],
+        &summary,
+    );
+    println!("(history csv: {path})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_builds_all_suite_matrices() {
+        let cli = Cli {
+            scale: 0.2,
+            ..Cli::default()
+        };
+        for name in cli.matrices() {
+            let p = prepare(name, &cli);
+            assert_eq!(p.b.len(), p.matrix.rows(), "{name}");
+            assert!(p.target_rrn > 0.0);
+        }
+    }
+
+    #[test]
+    fn cli_matrix_filter() {
+        let cli = Cli {
+            matrix: Some("cfd2".into()),
+            ..Cli::default()
+        };
+        assert_eq!(cli.matrices(), vec!["cfd2"]);
+    }
+}

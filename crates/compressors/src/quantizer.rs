@@ -1,0 +1,96 @@
+//! Error-bounded linear quantization (the SZ-family quantization stage).
+//!
+//! A prediction residual `x − pred` is mapped to an integer code on a
+//! `2·eps` lattice so the reconstruction error never exceeds `eps`.
+//! Residuals outside the code window are "unpredictable" and stored
+//! verbatim — SZ's escape mechanism, which is exactly the space-overhead
+//! failure mode §III-A footnote 2 warns about on uncorrelated data.
+
+/// Half-width of the symmetric code window. Codes live in
+/// `[-WINDOW, WINDOW]`; symbol 0 is reserved for "unpredictable".
+pub const WINDOW: i64 = (1 << 24) - 1;
+
+/// Quantize `x` against `pred` with bound `eps`. Returns the code, or
+/// `None` if out of window (store raw).
+#[inline]
+pub fn quantize(x: f64, pred: f64, eps: f64) -> Option<i64> {
+    debug_assert!(eps > 0.0);
+    let code = ((x - pred) / (2.0 * eps)).round();
+    if !code.is_finite() || code.abs() > WINDOW as f64 {
+        return None;
+    }
+    let code = code as i64;
+    // Guard against rounding pathologies: verify the bound actually holds.
+    if (reconstruct(pred, code, eps) - x).abs() <= eps {
+        Some(code)
+    } else {
+        None
+    }
+}
+
+/// Inverse of [`quantize`].
+#[inline]
+pub fn reconstruct(pred: f64, code: i64, eps: f64) -> f64 {
+    pred + 2.0 * eps * code.wrapping_mul(1) as f64
+}
+
+/// Map a signed code to the unsigned Huffman symbol space:
+/// 0 is reserved, code c -> zigzag(c) + 1.
+#[inline]
+pub fn code_to_symbol(code: i64) -> u32 {
+    let zz = ((code << 1) ^ (code >> 63)) as u64; // zigzag
+    (zz + 1) as u32
+}
+
+/// Inverse of [`code_to_symbol`] (symbol must be >= 1).
+#[inline]
+pub fn symbol_to_code(sym: u32) -> i64 {
+    let zz = (sym - 1) as u64;
+    ((zz >> 1) as i64) ^ -((zz & 1) as i64)
+}
+
+/// Reserved symbol marking an unpredictable (raw-stored) value.
+pub const UNPREDICTABLE: u32 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_respects_bound() {
+        let eps = 1e-3;
+        for i in 0..1000 {
+            let x = (i as f64 * 0.137).sin();
+            let pred = (i as f64 * 0.131).sin();
+            if let Some(c) = quantize(x, pred, eps) {
+                let rec = reconstruct(pred, c, eps);
+                assert!((rec - x).abs() <= eps, "x={x} pred={pred}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_prediction_gives_code_zero() {
+        assert_eq!(quantize(1.5, 1.5, 1e-6), Some(0));
+        assert_eq!(reconstruct(1.5, 0, 1e-6), 1.5);
+    }
+
+    #[test]
+    fn out_of_window_returns_none() {
+        assert_eq!(quantize(1e12, 0.0, 1e-9), None);
+        assert_eq!(quantize(f64::MAX, -f64::MAX, 1.0), None);
+    }
+
+    #[test]
+    fn zigzag_symbol_mapping_bijective() {
+        for c in [-100i64, -3, -1, 0, 1, 2, 77, WINDOW, -WINDOW] {
+            let s = code_to_symbol(c);
+            assert_ne!(s, UNPREDICTABLE);
+            assert_eq!(symbol_to_code(s), c, "code {c}");
+        }
+        // Small codes get small symbols (good for Huffman).
+        assert_eq!(code_to_symbol(0), 1);
+        assert_eq!(code_to_symbol(-1), 2);
+        assert_eq!(code_to_symbol(1), 3);
+    }
+}

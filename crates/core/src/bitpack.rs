@@ -1,0 +1,129 @@
+//! Little-endian bit packing into `u32` words.
+//!
+//! The unaligned FRSZ2 path (any `l` that is not 8/16/32/64, e.g. the
+//! paper's `frsz2_21`) stores value `i` of a block at bit offset `l·i`
+//! inside the block's word region. GPUs (and the `gpusim` substrate) can
+//! only address bytes, so fields may straddle up to three 32-bit words —
+//! exactly the "values interleave in memory" overhead §IV-C blames for
+//! `frsz2_21` not outrunning `frsz2_32`.
+//!
+//! Bit order is little-endian: bit `b` of the stream lives in word
+//! `b / 32` at in-word position `b % 32`.
+
+/// Write the low `width` bits of `value` at `bit_offset` in `words`.
+///
+/// Bits outside `width` of `value` must be zero (checked in debug builds).
+/// `width` must be in `1..=64`.
+#[inline]
+pub fn write_bits(words: &mut [u32], bit_offset: usize, width: u32, value: u64) {
+    debug_assert!((1..=64).contains(&width));
+    debug_assert!(width == 64 || value < (1u64 << width), "value wider than field");
+    let mut word = bit_offset / 32;
+    let mut shift = (bit_offset % 32) as u32;
+    let mut remaining = width;
+    let mut v = value;
+    while remaining > 0 {
+        let in_word = (32 - shift).min(remaining);
+        let mask = if in_word == 32 {
+            u32::MAX
+        } else {
+            ((1u32 << in_word) - 1) << shift
+        };
+        let chunk = ((v as u32) << shift) & mask;
+        words[word] = (words[word] & !mask) | chunk;
+        v >>= in_word;
+        remaining -= in_word;
+        shift = 0;
+        word += 1;
+    }
+}
+
+/// Read `width` bits starting at `bit_offset` from `words`.
+#[inline]
+pub fn read_bits(words: &[u32], bit_offset: usize, width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    let mut word = bit_offset / 32;
+    let mut shift = (bit_offset % 32) as u32;
+    let mut remaining = width;
+    let mut out = 0u64;
+    let mut out_pos = 0u32;
+    while remaining > 0 {
+        let in_word = (32 - shift).min(remaining);
+        let mask = if in_word == 32 {
+            u32::MAX
+        } else {
+            (1u32 << in_word) - 1
+        };
+        let chunk = (words[word] >> shift) & mask;
+        out |= (chunk as u64) << out_pos;
+        out_pos += in_word;
+        remaining -= in_word;
+        shift = 0;
+        word += 1;
+    }
+    out
+}
+
+/// Number of `u32` words needed to hold `count` fields of `width` bits.
+#[inline]
+pub fn words_for(count: usize, width: u32) -> usize {
+    (count * width as usize + 31) / 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_fields() {
+        let mut w = vec![0u32; 2];
+        write_bits(&mut w, 0, 8, 0xAB);
+        write_bits(&mut w, 8, 8, 0xCD);
+        write_bits(&mut w, 16, 16, 0x1234);
+        assert_eq!(w[0], 0x1234_CDAB);
+        assert_eq!(read_bits(&w, 0, 8), 0xAB);
+        assert_eq!(read_bits(&w, 8, 8), 0xCD);
+        assert_eq!(read_bits(&w, 16, 16), 0x1234);
+    }
+
+    #[test]
+    fn straddling_fields() {
+        let mut w = vec![0u32; 3];
+        // 21-bit fields, the paper's frsz2_21 case: offsets 0, 21, 42, 63.
+        let vals = [0x1F_FFFF, 0x0A_AAAA, 0x15_5555, 0x00_0001];
+        for (i, &v) in vals.iter().enumerate() {
+            write_bits(&mut w, i * 21, 21, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(read_bits(&w, i * 21, 21), v, "field {i}");
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_field_across_three_words() {
+        let mut w = vec![0u32; 3];
+        write_bits(&mut w, 13, 64, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(read_bits(&w, 13, 64), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn overwrite_leaves_neighbours_intact() {
+        let mut w = vec![u32::MAX; 2];
+        write_bits(&mut w, 7, 10, 0);
+        assert_eq!(read_bits(&w, 0, 7), 0x7F);
+        assert_eq!(read_bits(&w, 7, 10), 0);
+        assert_eq!(read_bits(&w, 17, 15), 0x7FFF);
+        write_bits(&mut w, 7, 10, 0x3FF);
+        assert_eq!(w, vec![u32::MAX; 2]);
+    }
+
+    #[test]
+    fn words_for_counts() {
+        assert_eq!(words_for(32, 32), 32);
+        assert_eq!(words_for(32, 21), 21); // 672 bits = exactly 21 words
+        assert_eq!(words_for(32, 16), 16);
+        assert_eq!(words_for(1, 1), 1);
+        assert_eq!(words_for(0, 21), 0);
+        assert_eq!(words_for(3, 21), 2);
+    }
+}

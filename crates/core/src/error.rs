@@ -1,0 +1,178 @@
+//! Compression-error analysis helpers.
+//!
+//! Used by the quality experiments (Figs. 5–9) to relate the observed
+//! GMRES convergence behaviour to the information the codec destroyed.
+
+use crate::codec::Frsz2Config;
+use crate::reference::effective_exponent;
+
+/// Summary statistics of a lossy round trip.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorStats {
+    /// max_i |x_i - y_i|
+    pub max_abs: f64,
+    /// mean_i |x_i - y_i|
+    pub mean_abs: f64,
+    /// max_i |x_i - y_i| / |x_i| over entries with x_i != 0
+    pub max_rel: f64,
+    /// Number of nonzero inputs reconstructed as exactly zero
+    /// (the "flushed" values of the Fig. 9b stagnation mechanism).
+    pub flushed_to_zero: usize,
+    /// Number of entries compared.
+    pub count: usize,
+}
+
+/// Compare an original slice against its lossy reconstruction.
+pub fn error_stats(original: &[f64], decoded: &[f64]) -> ErrorStats {
+    assert_eq!(original.len(), decoded.len());
+    let mut s = ErrorStats {
+        count: original.len(),
+        ..ErrorStats::default()
+    };
+    if original.is_empty() {
+        return s;
+    }
+    let mut sum = 0.0;
+    for (&x, &y) in original.iter().zip(decoded) {
+        let err = (x - y).abs();
+        sum += err;
+        if err > s.max_abs {
+            s.max_abs = err;
+        }
+        if x != 0.0 {
+            let rel = err / x.abs();
+            if rel > s.max_rel {
+                s.max_rel = rel;
+            }
+            if y == 0.0 {
+                s.flushed_to_zero += 1;
+            }
+        }
+    }
+    s.mean_abs = sum / original.len() as f64;
+    s
+}
+
+/// Worst-case absolute error of FRSZ2 for a block whose values are
+/// `block`, straight from the format definition (one ULP of the
+/// truncated fraction at block scale).
+pub fn block_error_bound(cfg: Frsz2Config, block: &[f64]) -> f64 {
+    let emax = block
+        .iter()
+        .map(|&v| effective_exponent(v))
+        .max()
+        .unwrap_or(1) as i32;
+    let e = emax - 1023 - (cfg.bits() as i32 - 2);
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e >= -1074 {
+        f64::from_bits(1u64 << (e + 1074))
+    } else {
+        0.0
+    }
+}
+
+/// Exponent spread (max − min effective exponent) of a block: values whose
+/// distance from the block maximum exceeds `l − 2` are flushed to zero, so
+/// this is the per-block predictor of FRSZ2 information loss used by the
+/// PR02R analysis (§VI-A, Fig. 10).
+pub fn block_exponent_spread(block: &[f64]) -> u32 {
+    let nonzero: Vec<u32> = block
+        .iter()
+        .filter(|&&v| v != 0.0)
+        .map(|&v| effective_exponent(v))
+        .collect();
+    if nonzero.is_empty() {
+        return 0;
+    }
+    let max = *nonzero.iter().max().unwrap();
+    let min = *nonzero.iter().min().unwrap();
+    max - min
+}
+
+/// Fraction of nonzero values in `data` that FRSZ2 with `cfg` would flush
+/// to zero (their exponent sits more than `l − 2` below their block max).
+pub fn predicted_flush_fraction(cfg: Frsz2Config, data: &[f64]) -> f64 {
+    let bs = cfg.block_size();
+    let window = cfg.bits() - 2;
+    let mut nonzero = 0usize;
+    let mut flushed = 0usize;
+    for block in data.chunks(bs) {
+        let emax = block
+            .iter()
+            .map(|&v| effective_exponent(v))
+            .max()
+            .unwrap_or(1);
+        for &v in block {
+            if v != 0.0 {
+                nonzero += 1;
+                if emax - effective_exponent(v) > window {
+                    flushed += 1;
+                }
+            }
+        }
+    }
+    if nonzero == 0 {
+        0.0
+    } else {
+        flushed as f64 / nonzero as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Frsz2Vector;
+
+    #[test]
+    fn stats_on_identical_data_are_zero() {
+        let x = [1.0, -2.0, 0.5];
+        let s = error_stats(&x, &x);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.mean_abs, 0.0);
+        assert_eq!(s.max_rel, 0.0);
+        assert_eq!(s.flushed_to_zero, 0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn stats_detect_flushes() {
+        let x = [1.0, 1e-20, -3.0];
+        let y = [1.0, 0.0, -3.5];
+        let s = error_stats(&x, &y);
+        assert_eq!(s.flushed_to_zero, 1);
+        assert_eq!(s.max_abs, 0.5);
+        assert_eq!(s.max_rel, 1.0); // the flushed value lost 100 %
+    }
+
+    #[test]
+    fn measured_error_respects_block_bound() {
+        let cfg = Frsz2Config::new(32, 16);
+        let data: Vec<f64> = (0..96).map(|i| ((i as f64) * 0.531).sin()).collect();
+        let v = Frsz2Vector::compress(cfg, &data);
+        let dec = v.decompress();
+        for (b, chunk) in data.chunks(32).enumerate() {
+            let bound = block_error_bound(cfg, chunk);
+            let stats = error_stats(chunk, &dec[b * 32..(b * 32 + chunk.len()).min(96)]);
+            assert!(stats.max_abs < bound, "block {b}: {} >= {bound}", stats.max_abs);
+        }
+    }
+
+    #[test]
+    fn spread_and_flush_prediction() {
+        assert_eq!(block_exponent_spread(&[1.0, 2.0, 4.0]), 2);
+        assert_eq!(block_exponent_spread(&[0.0, 0.0]), 0);
+        assert_eq!(block_exponent_spread(&[]), 0);
+
+        // One value 2^-40 below the block max: flushed for l=32 (window 30)
+        // but kept for l=64 (window 62).
+        let mut data = vec![1.0; 32];
+        data[7] = f64::powi(2.0, -40);
+        assert!(predicted_flush_fraction(Frsz2Config::new(32, 32), &data) > 0.0);
+        assert_eq!(predicted_flush_fraction(Frsz2Config::new(32, 64), &data), 0.0);
+
+        // The prediction matches what the codec actually does.
+        let v = Frsz2Vector::compress(Frsz2Config::new(32, 32), &data);
+        assert_eq!(v.get(7), 0.0);
+    }
+}

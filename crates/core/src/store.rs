@@ -1,0 +1,268 @@
+//! [`ColumnStorage`] implementation: a Krylov basis held in FRSZ2.
+//!
+//! Columns are compressed on write (the only write pattern CB-GMRES
+//! needs — §IV-A explains why single-element updates are impossible:
+//! a changed `emax` would force renormalizing the whole block) and
+//! decompressed on chunked reads through the accessor interface.
+
+use crate::codec::{self, Frsz2Config};
+use numfmt::ColumnStorage;
+
+/// Column-major matrix of FRSZ2-compressed columns.
+///
+/// Code words and block exponents live in two separate flat arrays
+/// (design choice (5) of §IV-C), each with a fixed per-column stride.
+#[derive(Clone, Debug)]
+pub struct Frsz2Store {
+    cfg: Frsz2Config,
+    rows: usize,
+    cols: usize,
+    col_words: usize,
+    col_blocks: usize,
+    words: Vec<u32>,
+    exps: Vec<u32>,
+}
+
+impl Frsz2Store {
+    /// Allocate with an explicit FRSZ2 configuration.
+    pub fn with_config(cfg: Frsz2Config, rows: usize, cols: usize) -> Self {
+        let col_words = cfg.words_for_len(rows);
+        let col_blocks = cfg.blocks_for(rows);
+        Frsz2Store {
+            cfg,
+            rows,
+            cols,
+            col_words,
+            col_blocks,
+            words: vec![0u32; col_words * cols],
+            exps: vec![1u32; col_blocks * cols], // exponent of zero
+        }
+    }
+
+    pub fn config(&self) -> Frsz2Config {
+        self.cfg
+    }
+
+    /// Raw code words of column `j` (diagnostics/tests).
+    pub fn column_words(&self, j: usize) -> &[u32] {
+        &self.words[j * self.col_words..(j + 1) * self.col_words]
+    }
+
+    /// Per-block exponents of column `j` (diagnostics/tests).
+    pub fn column_exponents(&self, j: usize) -> &[u32] {
+        &self.exps[j * self.col_blocks..(j + 1) * self.col_blocks]
+    }
+}
+
+impl ColumnStorage for Frsz2Store {
+    /// Default shape constructor uses `frsz2_32` (BS = 32, l = 32), the
+    /// configuration the paper's evaluation recommends.
+    fn with_shape(rows: usize, cols: usize) -> Self {
+        Frsz2Store::with_config(Frsz2Config::default(), rows, cols)
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn write_column(&mut self, j: usize, data: &[f64]) {
+        assert_eq!(data.len(), self.rows, "column length mismatch");
+        assert!(j < self.cols, "column index {j} out of range");
+        let words = &mut self.words[j * self.col_words..(j + 1) * self.col_words];
+        let exps = &mut self.exps[j * self.col_blocks..(j + 1) * self.col_blocks];
+        codec::compress_into(self.cfg, data, words, exps);
+    }
+
+    #[inline]
+    fn read_chunk(&self, j: usize, row_start: usize, out: &mut [f64]) {
+        let words = &self.words[j * self.col_words..(j + 1) * self.col_words];
+        let exps = &self.exps[j * self.col_blocks..(j + 1) * self.col_blocks];
+        codec::decompress_range(self.cfg, words, exps, self.rows, row_start, out);
+    }
+
+    #[inline]
+    fn load(&self, i: usize, j: usize) -> f64 {
+        let words = &self.words[j * self.col_words..(j + 1) * self.col_words];
+        let exps = &self.exps[j * self.col_blocks..(j + 1) * self.col_blocks];
+        codec::get(self.cfg, words, exps, i)
+    }
+
+    fn chunk_align(&self) -> usize {
+        self.cfg.block_size()
+    }
+
+    /// Fused decompress-and-dot straight off the compressed words: no
+    /// intermediate buffer for the aligned bit lengths (the in-register
+    /// decompression of §IV-B, expressed as scalar code).
+    fn dot_chunk(&self, j: usize, row_start: usize, w: &[f64]) -> f64 {
+        let bs = self.cfg.block_size();
+        let l = self.cfg.bits();
+        let wpb = self.cfg.words_per_block();
+        debug_assert_eq!(row_start % bs, 0);
+        let words = self.column_words(j);
+        let exps = self.column_exponents(j);
+        let first_block = row_start / bs;
+        let mut acc = 0.0;
+        match l {
+            32 => {
+                for (bi, wc) in w.chunks(bs).enumerate() {
+                    let b = first_block + bi;
+                    let emax = exps[b];
+                    let bw = &words[b * wpb..b * wpb + wc.len()];
+                    for (&c, &wv) in bw.iter().zip(wc) {
+                        acc += codec::decode_code(c as u64, emax, 32) * wv;
+                    }
+                }
+            }
+            16 => {
+                for (bi, wc) in w.chunks(bs).enumerate() {
+                    let b = first_block + bi;
+                    let emax = exps[b];
+                    let bw = &words[b * wpb..(b + 1) * wpb];
+                    for (i, &wv) in wc.iter().enumerate() {
+                        let c = (bw[i / 2] >> ((i & 1) * 16)) & 0xFFFF;
+                        acc += codec::decode_code(c as u64, emax, 16) * wv;
+                    }
+                }
+            }
+            _ => {
+                // Unaligned lengths go through block-granular tiles.
+                let mut tile = vec![0.0f64; if bs <= 512 { (512 / bs) * bs } else { bs }];
+                let step = tile.len();
+                let mut off = 0;
+                while off < w.len() {
+                    let len = step.min(w.len() - off);
+                    self.read_chunk(j, row_start + off, &mut tile[..len]);
+                    for (a, b) in tile[..len].iter().zip(&w[off..off + len]) {
+                        acc += a * b;
+                    }
+                    off += len;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fused decompress-and-axpy; see [`Frsz2Store::dot_chunk`].
+    fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
+        let bs = self.cfg.block_size();
+        let l = self.cfg.bits();
+        let wpb = self.cfg.words_per_block();
+        debug_assert_eq!(row_start % bs, 0);
+        let words = self.column_words(j);
+        let exps = self.column_exponents(j);
+        let first_block = row_start / bs;
+        match l {
+            32 => {
+                for (bi, wc) in w.chunks_mut(bs).enumerate() {
+                    let b = first_block + bi;
+                    let emax = exps[b];
+                    let bw = &words[b * wpb..b * wpb + wc.len()];
+                    for (wv, &c) in wc.iter_mut().zip(bw) {
+                        *wv += alpha * codec::decode_code(c as u64, emax, 32);
+                    }
+                }
+            }
+            16 => {
+                for (bi, wc) in w.chunks_mut(bs).enumerate() {
+                    let b = first_block + bi;
+                    let emax = exps[b];
+                    let bw = &words[b * wpb..(b + 1) * wpb];
+                    for (i, wv) in wc.iter_mut().enumerate() {
+                        let c = (bw[i / 2] >> ((i & 1) * 16)) & 0xFFFF;
+                        *wv += alpha * codec::decode_code(c as u64, emax, 16);
+                    }
+                }
+            }
+            _ => {
+                let mut tile = vec![0.0f64; if bs <= 512 { (512 / bs) * bs } else { bs }];
+                let step = tile.len();
+                let mut off = 0;
+                while off < w.len() {
+                    let len = step.min(w.len() - off);
+                    self.read_chunk(j, row_start + off, &mut tile[..len]);
+                    for (b, a) in w[off..off + len].iter_mut().zip(&tile[..len]) {
+                        *b += alpha * a;
+                    }
+                    off += len;
+                }
+            }
+        }
+    }
+
+    fn column_bytes(&self) -> usize {
+        (self.col_words + self.col_blocks) * 4
+    }
+
+    fn format_name(&self) -> String {
+        self.cfg.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64) * 0.37 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn write_read_columns_independently() {
+        let mut st = Frsz2Store::with_shape(100, 3);
+        let (a, b) = (wave(100, 0.0), wave(100, 1.5));
+        st.write_column(0, &a);
+        st.write_column(2, &b);
+        let mut out = vec![0.0; 100];
+        st.read_column(0, &mut out);
+        for i in 0..100 {
+            assert!((out[i] - a[i]).abs() < 1e-8);
+        }
+        st.read_column(2, &mut out);
+        for i in 0..100 {
+            assert!((out[i] - b[i]).abs() < 1e-8);
+        }
+        // Untouched column decodes to zeros.
+        st.read_column(1, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn load_matches_chunked_read() {
+        let mut st = Frsz2Store::with_config(Frsz2Config::new(32, 21), 90, 2);
+        let v = wave(90, 0.3);
+        st.write_column(1, &v);
+        let mut out = vec![0.0; 90];
+        // Chunked read in block-aligned pieces.
+        st.read_chunk(1, 0, &mut out[..64]);
+        st.read_chunk(1, 64, &mut out[64..]);
+        for i in 0..90 {
+            assert_eq!(st.load(i, 1).to_bits(), out[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn reported_rate_matches_eq3() {
+        let st = Frsz2Store::with_shape(3200, 1);
+        assert!((st.bits_per_value() - 33.0).abs() < 1e-12, "frsz2_32 is 33 bits/value");
+        assert_eq!(st.chunk_align(), 32);
+        assert_eq!(st.format_name(), "frsz2_32");
+        let st16 = Frsz2Store::with_config(Frsz2Config::new(32, 16), 3200, 1);
+        assert!((st16.bits_per_value() - 17.0).abs() < 1e-12, "frsz2_16 is 17 bits/value");
+    }
+
+    #[test]
+    fn overwriting_column_replaces_old_data() {
+        let mut st = Frsz2Store::with_shape(64, 1);
+        st.write_column(0, &wave(64, 0.0));
+        let v2 = wave(64, 2.0);
+        st.write_column(0, &v2);
+        for i in 0..64 {
+            assert!((st.load(i, 0) - v2[i]).abs() < 1e-8);
+        }
+    }
+}

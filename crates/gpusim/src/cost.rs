@@ -1,0 +1,123 @@
+//! Multi-resource roofline cost model.
+//!
+//! Kernel time is the maximum over the independent hardware resources —
+//! memory bandwidth, FP64/FP32 pipes, the integer ALU (which executes
+//! the decompression bit manipulation), the shuffle pipe, and the
+//! load/store units. This is the standard bound-and-bottleneck model the
+//! paper's introduction applies by hand; with measured instruction
+//! counts it yields the Fig. 4 curves and the §IV-C bandwidth numbers.
+
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+
+/// Per-resource time decomposition for one kernel run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    pub mem_time: f64,
+    pub fp64_time: f64,
+    pub fp32_time: f64,
+    pub int_time: f64,
+    pub shfl_time: f64,
+    pub ldst_time: f64,
+    /// Predicted kernel time: max over all resources.
+    pub total: f64,
+}
+
+impl CostBreakdown {
+    /// Name of the binding resource.
+    pub fn bottleneck(&self) -> &'static str {
+        let pairs = [
+            (self.mem_time, "memory-bandwidth"),
+            (self.fp64_time, "fp64-pipe"),
+            (self.fp32_time, "fp32-pipe"),
+            (self.int_time, "int-alu"),
+            (self.shfl_time, "shuffle-pipe"),
+            (self.ldst_time, "load-store-units"),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|&(_, n)| n)
+            .unwrap_or("memory-bandwidth")
+    }
+
+    /// Achieved memory bandwidth in bytes/s given total traffic.
+    pub fn achieved_bandwidth(&self, bytes: u64) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            bytes as f64 / self.total
+        }
+    }
+}
+
+/// Predict the execution time of a kernel with the given counters.
+pub fn estimate(dev: &DeviceSpec, c: &Counters) -> CostBreakdown {
+    let mut b = CostBreakdown {
+        mem_time: c.total_bytes() as f64 / dev.mem_bw,
+        fp64_time: c.fp64 as f64 / dev.fp64_flops,
+        fp32_time: c.fp32 as f64 / dev.fp32_flops,
+        // CLZ executes on the integer pipe.
+        int_time: (c.int + c.clz) as f64 / dev.int_ops,
+        shfl_time: c.shfl as f64 / dev.shfl_ops,
+        ldst_time: (c.sectors_read + c.sectors_written) as f64 / dev.sector_rate,
+        total: 0.0,
+    };
+    b.total = b
+        .mem_time
+        .max(b.fp64_time)
+        .max(b.fp32_time)
+        .max(b.int_time)
+        .max(b.shfl_time)
+        .max(b.ldst_time);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::H100_PCIE;
+
+    #[test]
+    fn pure_streaming_is_bandwidth_bound() {
+        let c = Counters {
+            bytes_read: 2_000_000_000,
+            sectors_read: 2_000_000_000 / 32,
+            ..Counters::default()
+        };
+        let b = estimate(&H100_PCIE, &c);
+        assert_eq!(b.bottleneck(), "memory-bandwidth");
+        assert!((b.total - 1e-3).abs() < 1e-6, "2 GB at 2 TB/s is 1 ms");
+        assert!((b.achieved_bandwidth(c.total_bytes()) - 2.0e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn flop_heavy_kernel_is_fp64_bound() {
+        let c = Counters {
+            bytes_read: 8_000_000,
+            fp64: 25_600_000_000,
+            ..Counters::default()
+        };
+        let b = estimate(&H100_PCIE, &c);
+        assert_eq!(b.bottleneck(), "fp64-pipe");
+        assert!((b.total - 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crossover_at_the_papers_ratio() {
+        // §I: ~100 FP64 ops per loaded f64 is the compute/memory
+        // crossover on the H100.
+        let n = 1_000_000u64;
+        let mem_only = Counters {
+            bytes_read: 8 * n,
+            ..Counters::default()
+        };
+        let at_crossover = Counters {
+            bytes_read: 8 * n,
+            fp64: 103 * n,
+            ..Counters::default()
+        };
+        assert_eq!(estimate(&H100_PCIE, &mem_only).bottleneck(), "memory-bandwidth");
+        assert_eq!(estimate(&H100_PCIE, &at_crossover).bottleneck(), "fp64-pipe");
+    }
+}

@@ -1,0 +1,93 @@
+//! Instruction and memory-traffic counters.
+
+/// Instruction classes tracked by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Double-precision floating point (FMA counts as 2 FLOPs).
+    Fp64,
+    /// Single-precision floating point.
+    Fp32,
+    /// 32/64-bit integer ALU (add, shift, mask, compare, select).
+    Int,
+    /// Count-leading-zeros (the `count_zero` intrinsic of §IV-C).
+    Clz,
+    /// Warp shuffle.
+    Shfl,
+}
+
+/// Aggregated execution counters for a kernel run. Counts are per
+/// *lane-operation* (one instruction executed by one active lane).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub fp64: u64,
+    pub fp32: u64,
+    pub int: u64,
+    pub clz: u64,
+    pub shfl: u64,
+    /// Bytes moved from global memory (sector-granular).
+    pub bytes_read: u64,
+    /// Bytes moved to global memory (sector-granular).
+    pub bytes_written: u64,
+    /// 32-byte sectors touched by loads.
+    pub sectors_read: u64,
+    /// 32-byte sectors touched by stores.
+    pub sectors_written: u64,
+}
+
+impl Counters {
+    #[inline]
+    pub fn bump(&mut self, class: InstrClass, n: u64) {
+        match class {
+            InstrClass::Fp64 => self.fp64 += n,
+            InstrClass::Fp32 => self.fp32 += n,
+            InstrClass::Int => self.int += n,
+            InstrClass::Clz => self.clz += n,
+            InstrClass::Shfl => self.shfl += n,
+        }
+    }
+
+    /// Merge another counter set (used when reducing over blocks).
+    pub fn merge(&mut self, o: &Counters) {
+        self.fp64 += o.fp64;
+        self.fp32 += o.fp32;
+        self.int += o.int;
+        self.clz += o.clz;
+        self.shfl += o.shfl;
+        self.bytes_read += o.bytes_read;
+        self.bytes_written += o.bytes_written;
+        self.sectors_read += o.sectors_read;
+        self.sectors_written += o.sectors_written;
+    }
+
+    /// Total instructions of all classes.
+    pub fn total_instrs(&self) -> u64 {
+        self.fp64 + self.fp32 + self.int + self.clz + self.shfl
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_merge() {
+        let mut a = Counters::default();
+        a.bump(InstrClass::Fp64, 10);
+        a.bump(InstrClass::Int, 5);
+        a.bump(InstrClass::Clz, 1);
+        let mut b = Counters::default();
+        b.bump(InstrClass::Fp64, 3);
+        b.bytes_read = 64;
+        b.sectors_read = 2;
+        a.merge(&b);
+        assert_eq!(a.fp64, 13);
+        assert_eq!(a.int, 5);
+        assert_eq!(a.total_instrs(), 19);
+        assert_eq!(a.total_bytes(), 64);
+    }
+}

@@ -1,0 +1,75 @@
+//! Device descriptions: the published peak numbers the cost model uses.
+
+/// GPU resource peaks. All rates are aggregate device peaks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    /// Global-memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Peak FP64 throughput in FLOP/s (FMA counted as 2).
+    pub fp64_flops: f64,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak 32-bit integer-ALU throughput in ops/s. On Hopper/Ampere the
+    /// INT32 units share issue with FP32, sustaining about half the FP32
+    /// rate on mixed code — this is the rate that makes decompression
+    /// instruction overhead visible (the §IV-C "l = 16 does not saturate
+    /// the bandwidth" effect).
+    pub int_ops: f64,
+    /// Warp-shuffle throughput in ops/s (shared special pipe).
+    pub shfl_ops: f64,
+    /// Load/store-unit transaction throughput in 32-byte sectors/s.
+    pub sector_rate: f64,
+    pub sm_count: u32,
+}
+
+/// NVIDIA H100 PCIe (the paper's evaluation platform, §V-A): 80 GB,
+/// 2000 GB/s, 25.6 TFLOP/s FP64, 51.2 TFLOP/s FP32, 114 SMs.
+pub const H100_PCIE: DeviceSpec = DeviceSpec {
+    name: "H100-PCIe",
+    mem_bw: 2000.0e9,
+    fp64_flops: 25.6e12,
+    fp32_flops: 51.2e12,
+    int_ops: 25.6e12 / 2.0,
+    shfl_ops: 6.4e12,
+    // 114 SMs x 4 LSUs x ~1.5 GHz sectors.
+    sector_rate: 684.0e9,
+    sm_count: 114,
+};
+
+/// NVIDIA A100 SXM4-40GB (the cuSZp2 comparison platform of §III-B):
+/// 1555 GB/s, 9.7 TFLOP/s FP64, 19.5 TFLOP/s FP32, 108 SMs.
+pub const A100_SXM: DeviceSpec = DeviceSpec {
+    name: "A100-SXM4",
+    mem_bw: 1555.0e9,
+    fp64_flops: 9.7e12,
+    fp32_flops: 19.5e12,
+    int_ops: 19.5e12 / 2.0,
+    shfl_ops: 4.8e12,
+    sector_rate: 648.0e9,
+    sm_count: 108,
+};
+
+impl DeviceSpec {
+    /// The paper's introduction ratio: double-precision operations
+    /// executable per f64 loaded from memory (≈100 for the H100).
+    pub fn flops_per_f64_loaded(&self) -> f64 {
+        self.fp64_flops / (self.mem_bw / 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_matches_paper_quoted_numbers() {
+        assert_eq!(H100_PCIE.mem_bw, 2.0e12);
+        assert_eq!(H100_PCIE.fp64_flops, 25.6e12);
+        assert_eq!(H100_PCIE.fp32_flops, 2.0 * H100_PCIE.fp64_flops);
+        // "an algorithm can execute up to 100 double-precision (64-bit)
+        // computations per double-precision value retrieved" (§I).
+        let r = H100_PCIE.flops_per_f64_loaded();
+        assert!((r - 102.4).abs() < 0.5, "got {r}");
+    }
+}

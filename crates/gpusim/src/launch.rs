@@ -1,0 +1,73 @@
+//! Grid launch: one warp per block over an output range, blocks run in
+//! parallel on the host, counters reduced deterministically.
+
+use crate::counters::Counters;
+use crate::warp::WarpCtx;
+use rayon::prelude::*;
+
+/// Launch `kernel` once per chunk of `out` (`chunk` elements per block,
+/// block = one simulated warp's tile). The kernel receives its block id
+/// and a mutable view of its output tile. Returns merged counters.
+pub fn launch_over<T: Send>(
+    out: &mut [T],
+    chunk: usize,
+    kernel: impl Fn(&mut WarpCtx, usize, &mut [T]) + Sync,
+) -> Counters {
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(b, tile)| {
+            let mut w = WarpCtx::new();
+            kernel(&mut w, b, tile);
+            w.counters
+        })
+        .reduce(Counters::default, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+}
+
+/// Launch `kernel` once per block without a writable output (pure
+/// accounting / reduction kernels).
+pub fn launch(blocks: usize, kernel: impl Fn(&mut WarpCtx, usize) + Sync) -> Counters {
+    (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let mut w = WarpCtx::new();
+            kernel(&mut w, b);
+            w.counters
+        })
+        .reduce(Counters::default, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_over_runs_every_block_once() {
+        let mut out = vec![0.0f64; 1000];
+        let c = launch_over(&mut out, 32, |w, b, tile| {
+            for (i, v) in tile.iter_mut().enumerate() {
+                *v = w.f64_add(b as f64, i as f64);
+            }
+        });
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[33], 1.0 + 1.0); // block 1, offset 1
+        assert_eq!(c.fp64, 1000);
+    }
+
+    #[test]
+    fn counters_deterministic_across_runs() {
+        let run = || {
+            launch(64, |w, b| {
+                for _ in 0..(b % 7) {
+                    w.i_add(1, 2);
+                }
+            })
+        };
+        assert_eq!(run(), run());
+    }
+}

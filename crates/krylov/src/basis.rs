@@ -1,0 +1,211 @@
+//! The Krylov basis: a [`ColumnStorage`] plus the streaming operations
+//! CB-GMRES performs against it.
+//!
+//! Orthogonalization is the memory-bound heart of GMRES (§II): every
+//! iteration streams all previously stored basis vectors twice (once for
+//! the dot products `h = Vᵀw`, once for the update `w ← w − Vh`). The
+//! basis therefore exposes exactly those two bulk kernels, implemented as
+//! rayon-parallel loops over block-aligned row chunks, with each worker
+//! decompressing into a thread-local scratch buffer. Reductions sum
+//! per-chunk partials in chunk order, so results are bit-deterministic
+//! for any thread count.
+
+use numfmt::ColumnStorage;
+use rayon::prelude::*;
+
+/// Target rows per parallel work item (rounded up to the storage
+/// format's block alignment).
+const TARGET_CHUNK: usize = 8192;
+
+/// A Krylov basis of up to `cols` vectors of length `rows`, held in an
+/// arbitrary storage format. All arithmetic is f64; only storage is
+/// compressed.
+pub struct Basis<S: ColumnStorage> {
+    store: S,
+    chunk: usize,
+}
+
+impl<S: ColumnStorage> Basis<S> {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Basis::from_store(S::with_shape(rows, cols))
+    }
+
+    /// Wrap an already-configured store (e.g. `Frsz2Store::with_config`
+    /// for non-default block size / bit length).
+    pub fn from_store(store: S) -> Self {
+        let align = store.chunk_align().max(1);
+        let chunk = TARGET_CHUNK.div_ceil(align) * align;
+        Basis { store, chunk }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.store.rows()
+    }
+
+    pub fn cols(&self) -> usize {
+        self.store.cols()
+    }
+
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Store vector `v` as basis column `j` (the compression write of
+    /// GMRES steps 1/13).
+    pub fn write(&mut self, j: usize, v: &[f64]) {
+        self.store.write_column(j, v);
+    }
+
+    /// Decompress column `j` into `out`.
+    pub fn read_column(&self, j: usize, out: &mut [f64]) {
+        self.store.read_column(j, out);
+    }
+
+    /// `out[i] = V[:, i]ᵀ w` for `i in 0..k` — the orthogonalization dot
+    /// products of step 5, streaming each stored column once through the
+    /// format's fused decode-multiply kernel. Partial sums are reduced in
+    /// chunk order, so the result is thread-count independent.
+    pub fn dots(&self, k: usize, w: &[f64], out: &mut [f64]) {
+        assert!(k <= self.cols());
+        assert_eq!(w.len(), self.rows());
+        assert!(out.len() >= k);
+        let n = self.rows();
+        let chunk = self.chunk;
+        let n_chunks = n.div_ceil(chunk);
+        for (j, out_j) in out.iter_mut().enumerate().take(k) {
+            let partials: Vec<f64> = (0..n_chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let start = c * chunk;
+                    let len = chunk.min(n - start);
+                    self.store.dot_chunk(j, start, &w[start..start + len])
+                })
+                .collect();
+            *out_j = partials.iter().sum();
+        }
+    }
+
+    /// `w ← w + Σ_i alpha[i] · V[:, i]` for `i in 0..k` — the projection
+    /// update of step 5 (callers pass `alpha = -h`).
+    pub fn axpys(&self, k: usize, alpha: &[f64], w: &mut [f64]) {
+        assert!(k <= self.cols());
+        assert!(alpha.len() >= k);
+        assert_eq!(w.len(), self.rows());
+        let chunk = self.chunk;
+        let store = &self.store;
+        w.par_chunks_mut(chunk).enumerate().for_each(|(c, wc)| {
+            let start = c * chunk;
+            for (j, &a) in alpha.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                store.axpy_chunk(j, start, a, wc);
+            }
+        });
+    }
+
+    /// `out = Σ_i y[i] · V[:, i]` — the solution update `V_m y_m` of
+    /// step 17.
+    pub fn combine(&self, y: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        self.axpys(y.len(), y, out);
+    }
+
+    /// Bytes streamed from storage when reading one full column.
+    pub fn column_bytes(&self) -> usize {
+        self.store.column_bytes()
+    }
+
+    /// Storage format label (paper nomenclature).
+    pub fn format_name(&self) -> String {
+        self.store.format_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frsz2::Frsz2Store;
+    use numfmt::DenseStore;
+
+    fn vec_of(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dots_match_serial_for_f64() {
+        let n = 30_000;
+        let mut basis = Basis::<DenseStore<f64>>::new(n, 3);
+        let v0 = vec_of(n, |i| (i as f64 * 0.1).sin());
+        let v1 = vec_of(n, |i| (i as f64 * 0.2).cos());
+        basis.write(0, &v0);
+        basis.write(1, &v1);
+        let w = vec_of(n, |i| (i as f64 * 0.05).sin() + 0.1);
+        let mut h = vec![0.0; 2];
+        basis.dots(2, &w, &mut h);
+        let s0: f64 = v0.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let s1: f64 = v1.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((h[0] - s0).abs() < 1e-9 * s0.abs().max(1.0));
+        assert!((h[1] - s1).abs() < 1e-9 * s1.abs().max(1.0));
+        // Determinism.
+        let mut h2 = vec![0.0; 2];
+        basis.dots(2, &w, &mut h2);
+        assert_eq!(h[0].to_bits(), h2[0].to_bits());
+        assert_eq!(h[1].to_bits(), h2[1].to_bits());
+    }
+
+    #[test]
+    fn axpys_matches_serial() {
+        let n = 20_000;
+        let mut basis = Basis::<DenseStore<f32>>::new(n, 2);
+        let v0 = vec_of(n, |i| (i as f64 * 0.3).sin());
+        let v1 = vec_of(n, |i| (i as f64 * 0.7).cos());
+        basis.write(0, &v0);
+        basis.write(1, &v1);
+        let mut w = vec_of(n, |i| i as f64 * 1e-5);
+        let mut expect = w.clone();
+        basis.axpys(2, &[2.0, -0.5], &mut w);
+        // The kernel accumulates column by column; mirror that order so
+        // the comparison is exact.
+        for i in 0..n {
+            expect[i] += 2.0 * (v0[i] as f32 as f64);
+        }
+        for i in 0..n {
+            expect[i] += -0.5 * (v1[i] as f32 as f64);
+        }
+        assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn combine_is_weighted_sum() {
+        let n = 100;
+        let mut basis = Basis::<DenseStore<f64>>::new(n, 3);
+        for j in 0..3 {
+            basis.write(j, &vec_of(n, |i| (i + j) as f64));
+        }
+        let mut out = vec![7.0; n]; // must be overwritten, not accumulated
+        basis.combine(&[1.0, -1.0, 0.5], &mut out);
+        for i in 0..n {
+            let expect = i as f64 - (i + 1) as f64 + 0.5 * (i + 2) as f64;
+            assert_eq!(out[i], expect);
+        }
+    }
+
+    #[test]
+    fn frsz2_basis_respects_block_error_bound() {
+        let n = 10_000;
+        let mut basis = Basis::<Frsz2Store>::new(n, 1);
+        let v = vec_of(n, |i| (i as f64 * 0.17).sin() * 0.9);
+        basis.write(0, &v);
+        let mut back = vec![0.0; n];
+        basis.read_column(0, &mut back);
+        for i in 0..n {
+            // frsz2_32: error below 2^-30 of the block max (<= 1).
+            assert!((back[i] - v[i]).abs() < f64::powi(2.0, -30), "row {i}");
+        }
+        assert_eq!(basis.format_name(), "frsz2_32");
+        // Eq. 3: 313 blocks of (32 code words + 1 exponent word).
+        let blocks = 10_000usize.div_ceil(32);
+        assert_eq!(basis.column_bytes(), blocks * 33 * 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Convergence diagnostics: Krylov-vector snapshots for the Fig. 2
+//! decorrelation analysis.
+
+use crate::gmres::{gmres, GmresOptions};
+use crate::precond::Identity;
+use numfmt::ColumnStorage;
+use spla::stats;
+use spla::Csr;
+
+/// A captured Krylov basis vector with the paper's Fig. 2 statistics.
+#[derive(Clone, Debug)]
+pub struct KrylovSnapshot {
+    /// The stored (post-compression) basis vector.
+    pub values: Vec<f64>,
+    /// Global iteration at which it was written.
+    pub iteration: usize,
+    /// Histogram of raw values (Fig. 2a/2c).
+    pub value_histogram: Vec<(f64, usize)>,
+    /// Histogram of base-2 exponents (Fig. 2b/2d).
+    pub exponent_histogram: Vec<(i32, usize)>,
+    /// (exponents covering 90 % of entries, distinct exponents) — the
+    /// "few common exponent values" observation of §III-A.
+    pub exponent_concentration: (usize, usize),
+}
+
+/// Run GMRES far enough to write basis vector number `iteration` and
+/// return it with its statistics. Returns `None` if the solver converges
+/// before reaching that iteration.
+pub fn krylov_snapshot<S: ColumnStorage>(
+    a: &Csr,
+    b: &[f64],
+    iteration: usize,
+    value_bins: usize,
+) -> Option<KrylovSnapshot> {
+    let opts = GmresOptions {
+        capture_basis_at: Some(iteration),
+        max_iters: iteration + 2,
+        target_rrn: 0.0, // never stop early
+        record_history: false,
+        ..GmresOptions::default()
+    };
+    let x0 = vec![0.0; a.rows()];
+    let r = gmres::<S, _>(a, b, &x0, &opts, &Identity);
+    let values = r.captured_basis_vector?;
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let pad = (hi - lo).max(1e-300) * 1e-6;
+    Some(KrylovSnapshot {
+        iteration,
+        value_histogram: stats::value_histogram(&values, lo - pad, hi + pad, value_bins),
+        exponent_histogram: stats::exponent_histogram(&values),
+        exponent_concentration: stats::exponent_concentration(&values),
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numfmt::DenseStore;
+    use spla::dense::manufactured_rhs;
+    use spla::gen;
+
+    #[test]
+    fn snapshot_captures_unit_vector_with_clustered_exponents() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.1, 0.0], 0.1);
+        let (_, b) = manufactured_rhs(&a);
+        let s = krylov_snapshot::<DenseStore<f64>>(&a, &b, 10, 32).expect("snapshot");
+        assert_eq!(s.values.len(), 512);
+        assert_eq!(s.iteration, 10);
+        let nrm = spla::dense::norm2(&s.values);
+        assert!((nrm - 1.0).abs() < 1e-10);
+        // Fig. 2 observation: most entries share a handful of exponents.
+        let (core, total) = s.exponent_concentration;
+        assert!(core <= total);
+        assert!(core <= 16, "90% of mass within a few binades, got {core}");
+        // Histogram counts add to n.
+        let count: usize = s.value_histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(count, 512);
+    }
+
+    #[test]
+    fn snapshot_none_when_converged_before_iteration() {
+        let a = spla::Csr::identity(64);
+        let (_, b) = manufactured_rhs(&a);
+        // Identity converges immediately; iteration 50 is never reached.
+        let s = krylov_snapshot::<DenseStore<f64>>(&a, &b, 50, 16);
+        assert!(s.is_none());
+    }
+}

@@ -1,0 +1,543 @@
+//! Restarted GMRES with a compressed Krylov basis (CB-GMRES).
+//!
+//! Implements the algorithm of the paper's Figure 1 literally; step
+//! numbers in comments refer to it. The Krylov basis `V` is held in an
+//! arbitrary [`ColumnStorage`] format — `DenseStore<f64>` reproduces
+//! standard GMRES, narrower formats reproduce CB-GMRES \[1\], and
+//! [`frsz2::Frsz2Store`] is this paper's contribution. All arithmetic is
+//! IEEE f64 regardless of storage (the accessor decouples the two).
+//!
+//! Residual bookkeeping matches §VI-A: within a restart cycle the
+//! residual norm is tracked *implicitly* through the Givens-rotation
+//! recurrence; the *explicit* residual `b − Ax` is recomputed only at
+//! restarts. The sudden history corrections visible in Fig. 9a are
+//! exactly the difference between the two.
+
+use crate::basis::Basis;
+use crate::precond::Preconditioner;
+use numfmt::ColumnStorage;
+use spla::dense::{axpy, norm2, scale, sub};
+use spla::Csr;
+use std::time::{Duration, Instant};
+
+/// Solver options (§V-C defaults).
+#[derive(Clone, Debug)]
+pub struct GmresOptions {
+    /// Restart length `m` (the paper uses 100).
+    pub restart: usize,
+    /// Upper bound on total inner iterations (the paper's calibration
+    /// runs use 20 000).
+    pub max_iters: usize,
+    /// Stopping criterion: `‖b − Ax‖₂ ≤ target_rrn · ‖b‖₂` (Table I).
+    pub target_rrn: f64,
+    /// Re-orthogonalization threshold η of Fig. 1 step 7 (DGKS test).
+    pub reorth_eta: f64,
+    /// Record the per-iteration residual history (Figs. 5/6/9).
+    pub record_history: bool,
+    /// Capture the basis vector written at this global iteration, as
+    /// stored (i.e. after compression) — feeds the Fig. 2 histograms.
+    pub capture_basis_at: Option<usize>,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions {
+            restart: 100,
+            max_iters: 20_000,
+            target_rrn: 1e-12,
+            reorth_eta: std::f64::consts::FRAC_1_SQRT_2,
+            record_history: true,
+            capture_basis_at: None,
+        }
+    }
+}
+
+/// One point of the convergence history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistoryPoint {
+    /// Global iteration count at which this residual was observed.
+    pub iteration: usize,
+    /// Relative residual norm.
+    pub rrn: f64,
+    /// `true` when explicitly recomputed as `‖b − Ax‖/‖b‖` (restart
+    /// boundaries); `false` for the implicit Givens estimate.
+    pub explicit: bool,
+}
+
+/// Counters and outcome of a solve.
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    pub iterations: usize,
+    pub restarts: usize,
+    pub reorthogonalizations: usize,
+    pub breakdowns: usize,
+    pub converged: bool,
+    /// Explicit relative residual norm of the returned solution.
+    pub final_rrn: f64,
+    pub wall_time: Duration,
+    /// Bytes streamed from basis storage (decompression traffic).
+    pub basis_bytes_read: u64,
+    /// Bytes written to basis storage (compression traffic).
+    pub basis_bytes_written: u64,
+    /// Number of sparse matrix–vector products.
+    pub spmv_count: u64,
+    /// Storage format label of the Krylov basis.
+    pub format: String,
+    /// Average stored bits per basis value (Eq. 3 for FRSZ2).
+    pub basis_bits_per_value: f64,
+}
+
+/// Result of [`gmres`].
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    pub x: Vec<f64>,
+    pub stats: SolveStats,
+    pub history: Vec<HistoryPoint>,
+    /// Basis vector captured at `capture_basis_at`, decompressed from
+    /// storage (None if never reached).
+    pub captured_basis_vector: Option<Vec<f64>>,
+}
+
+/// Construct a Givens rotation `(c, s)` annihilating `b` against `a`.
+#[inline]
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r)
+    }
+}
+
+/// Solve `A x = b` with restarted GMRES, storing the Krylov basis in
+/// format `S` (right-preconditioned by `precond`).
+///
+/// This is Fig. 1 of the paper; the highlighted compression points are
+/// the `basis.write` (steps 1/13, compress) and every `basis.*` read
+/// (steps 5/8/17, decompress through the accessor).
+pub fn gmres<S: ColumnStorage, P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    precond: &P,
+) -> SolveResult {
+    gmres_with(a, b, x0, opts, precond, S::with_shape)
+}
+
+/// [`gmres`] with an explicit basis-store factory, for storage formats
+/// that need more configuration than a shape (e.g.
+/// `Frsz2Store::with_config` for `frsz2_16`/`frsz2_21`, or a
+/// compressor-round-trip store). The factory receives `(rows, cols)`.
+pub fn gmres_with<S: ColumnStorage, P: Preconditioner>(
+    a: &Csr,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    precond: &P,
+    make_store: impl FnOnce(usize, usize) -> S,
+) -> SolveResult {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "GMRES needs a square matrix");
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    assert!(opts.restart >= 1);
+    let m = opts.restart;
+
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+    let mut history = Vec::new();
+    let mut captured: Option<Vec<f64>> = None;
+
+    let bnorm = norm2(b);
+    let mut x = x0.to_vec();
+    let mut basis = Basis::from_store(make_store(n, m + 1));
+    stats.format = basis.format_name();
+    let col_bytes = basis.column_bytes() as u64;
+
+    // b = 0: the solution is x = 0 exactly.
+    if bnorm == 0.0 {
+        stats.converged = true;
+        stats.final_rrn = 0.0;
+        stats.wall_time = start.elapsed();
+        return SolveResult {
+            x: vec![0.0; n],
+            stats,
+            history,
+            captured_basis_vector: None,
+        };
+    }
+
+    // Work buffers, allocated once.
+    let mut r = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut vj = vec![0.0; n];
+    let mut h = vec![0.0; m + 1];
+    let mut u = vec![0.0; m + 1];
+    let mut neg = vec![0.0; m + 1];
+    let mut hess = vec![0.0; (m + 1) * m]; // column-major, ld = m+1
+    let mut cs = vec![0.0; m];
+    let mut sn = vec![0.0; m];
+    let mut g = vec![0.0; m + 1];
+    let ld = m + 1;
+
+    loop {
+        // Step 1 / step 18: explicit residual r = b - A x.
+        a.spmv(&x, &mut w);
+        stats.spmv_count += 1;
+        sub(b, &w, &mut r);
+        let beta = norm2(&r);
+        let rrn = beta / bnorm;
+        stats.final_rrn = rrn;
+        if opts.record_history {
+            history.push(HistoryPoint {
+                iteration: stats.iterations,
+                rrn,
+                explicit: true,
+            });
+        }
+        if rrn <= opts.target_rrn {
+            stats.converged = true;
+            break;
+        }
+        if stats.iterations >= opts.max_iters {
+            break;
+        }
+
+        // v1 = r / beta, stored compressed (step 1).
+        scale(1.0 / beta, &mut r);
+        basis.write(0, &r);
+        stats.basis_bytes_written += col_bytes;
+        if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+            let mut cap = vec![0.0; n];
+            basis.read_column(0, &mut cap);
+            captured = Some(cap);
+        }
+        g.fill(0.0);
+        g[0] = beta;
+
+        let mut j = 0;
+        // Steps 2-15: build the Krylov basis.
+        while j < m && stats.iterations < opts.max_iters {
+            // Step 3: w = A (M^-1 v_j); v_j decompressed via the accessor.
+            basis.read_column(j, &mut vj);
+            stats.basis_bytes_read += col_bytes;
+            precond.apply(&vj, &mut z);
+            a.spmv(&z, &mut w);
+            stats.spmv_count += 1;
+
+            // Step 4.
+            let omega = norm2(&w);
+
+            // Step 5: classical Gram-Schmidt against the compressed basis.
+            basis.dots(j + 1, &w, &mut h[..j + 1]);
+            for i in 0..=j {
+                neg[i] = -h[i];
+            }
+            basis.axpys(j + 1, &neg, &mut w);
+            stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+
+            // Step 6.
+            let mut hj1 = norm2(&w);
+
+            // Steps 7-11: DGKS re-orthogonalization. The breakdown test of
+            // step 12 compares against the norm *entering the second pass*
+            // ("twice is enough"): if the second pass removes most of what
+            // remained, w is numerically in span(V) and the basis cannot
+            // grow.
+            let mut broke_down = hj1 == 0.0;
+            if !broke_down && hj1 < opts.reorth_eta * omega {
+                let before = hj1;
+                basis.dots(j + 1, &w, &mut u[..j + 1]);
+                for i in 0..=j {
+                    neg[i] = -u[i];
+                    h[i] += u[i]; // step 9
+                }
+                basis.axpys(j + 1, &neg, &mut w);
+                stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+                hj1 = norm2(&w); // step 10
+                stats.reorthogonalizations += 1;
+                broke_down = hj1 == 0.0 || hj1 < opts.reorth_eta * before; // step 12
+            }
+
+            // Record the Hessenberg column (step 16 assembles these).
+            for i in 0..=j {
+                hess[j * ld + i] = h[i];
+            }
+            hess[j * ld + j + 1] = hj1;
+
+            // Least-squares update: apply previous rotations, then a new one.
+            for i in 0..j {
+                let (hi, hi1) = (hess[j * ld + i], hess[j * ld + i + 1]);
+                hess[j * ld + i] = cs[i] * hi + sn[i] * hi1;
+                hess[j * ld + i + 1] = -sn[i] * hi + cs[i] * hi1;
+            }
+            let (c, s) = givens(hess[j * ld + j], hess[j * ld + j + 1]);
+            cs[j] = c;
+            sn[j] = s;
+            hess[j * ld + j] = c * hess[j * ld + j] + s * hess[j * ld + j + 1];
+            hess[j * ld + j + 1] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+
+            stats.iterations += 1;
+            let implicit_rrn = g[j + 1].abs() / bnorm;
+            if opts.record_history {
+                history.push(HistoryPoint {
+                    iteration: stats.iterations,
+                    rrn: implicit_rrn,
+                    explicit: false,
+                });
+            }
+
+            j += 1;
+            if broke_down {
+                stats.breakdowns += 1;
+                break;
+            }
+            if implicit_rrn <= opts.target_rrn {
+                break;
+            }
+
+            // Step 13/14: v_{j+1} = w / h_{j+1,j}, stored compressed.
+            scale(1.0 / hj1, &mut w);
+            basis.write(j, &w);
+            stats.basis_bytes_written += col_bytes;
+            if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+                let mut cap = vec![0.0; n];
+                basis.read_column(j, &mut cap);
+                captured = Some(cap);
+            }
+        }
+
+        // Step 17: y = argmin ‖beta e1 - H y‖ by back substitution on the
+        // rotated (upper-triangular) Hessenberg, then x += M^-1 (V y).
+        debug_assert!(j >= 1);
+        let mut y = vec![0.0; j];
+        for i in (0..j).rev() {
+            let mut acc = g[i];
+            for k in i + 1..j {
+                acc -= hess[k * ld + i] * y[k];
+            }
+            let d = hess[i * ld + i];
+            // A zero pivot can only follow an exact breakdown; the
+            // minimizer then ignores that direction.
+            y[i] = if d != 0.0 { acc / d } else { 0.0 };
+        }
+        basis.combine(&y, &mut z);
+        stats.basis_bytes_read += j as u64 * col_bytes;
+        precond.apply(&z, &mut vj);
+        axpy(1.0, &vj, &mut x);
+        stats.restarts += 1;
+    }
+
+    // Captured at the end: round-trip stores only know their achieved
+    // rate after columns have actually been written.
+    stats.basis_bits_per_value = basis.column_bytes() as f64 * 8.0 / n as f64;
+    stats.wall_time = start.elapsed();
+    SolveResult {
+        x,
+        stats,
+        history,
+        captured_basis_vector: captured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{Identity, Jacobi};
+    use frsz2::Frsz2Store;
+    use numfmt::{DenseStore, F16};
+    use spla::dense::manufactured_rhs;
+    use spla::gen;
+
+    fn opts(target: f64) -> GmresOptions {
+        GmresOptions {
+            target_rrn: target,
+            max_iters: 2000,
+            ..GmresOptions::default()
+        }
+    }
+
+    #[test]
+    fn identity_system_converges_in_one_iteration() {
+        let a = Csr::identity(500);
+        let (xsol, b) = manufactured_rhs(&a);
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 500], &opts(1e-14), &Identity);
+        assert!(r.stats.converged);
+        assert!(r.stats.iterations <= 2);
+        for i in 0..500 {
+            assert!((r.x[i] - xsol[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_system_solves_exactly() {
+        let mut coo = spla::Coo::new(50, 50);
+        for i in 0..50 {
+            coo.push(i, i, (i + 1) as f64);
+        }
+        let a = coo.to_csr();
+        let (xsol, b) = manufactured_rhs(&a);
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 50], &opts(1e-13), &Identity);
+        assert!(r.stats.converged, "final rrn {}", r.stats.final_rrn);
+        for i in 0..50 {
+            assert!((r.x[i] - xsol[i]).abs() < 1e-9, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn convection_diffusion_converges_all_formats() {
+        let a = gen::conv_diff_3d(10, 10, 10, [0.4, 0.2, 0.1], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let o = opts(1e-10);
+        let f64r = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
+        let f32r = gmres::<DenseStore<f32>, _>(&a, &b, &x0, &o, &Identity);
+        let frsz = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
+        assert!(f64r.stats.converged);
+        assert!(f32r.stats.converged);
+        assert!(frsz.stats.converged);
+        // CB-GMRES ordering (atmosmod regime): f64 needs no more
+        // iterations than the compressed formats.
+        assert!(f64r.stats.iterations <= f32r.stats.iterations);
+        assert!(f64r.stats.iterations <= frsz.stats.iterations);
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_final_explicit() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.2, 0.0, 0.0], 0.2);
+        let (_, b) = manufactured_rhs(&a);
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &opts(1e-9), &Identity);
+        assert!(r.stats.converged);
+        assert!(!r.history.is_empty());
+        // First point: explicit RRN of the zero initial guess = 1.
+        assert!(r.history[0].explicit);
+        assert!((r.history[0].rrn - 1.0).abs() < 1e-12);
+        // Last point: the explicit converged residual.
+        let last = r.history.last().unwrap();
+        assert!(last.explicit);
+        assert!(last.rrn <= 1e-9);
+        // Implicit estimates never increase within a cycle.
+        let mut prev = f64::INFINITY;
+        for p in r.history.iter().filter(|p| !p.explicit) {
+            assert!(p.rrn <= prev * (1.0 + 1e-12) || p.explicit, "implicit rrn rose");
+            prev = if p.explicit { f64::INFINITY } else { p.rrn };
+        }
+    }
+
+    #[test]
+    fn restart_cycles_happen_and_make_progress() {
+        // Small restart forces many cycles.
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.1, 0.0], 0.05);
+        let (_, b) = manufactured_rhs(&a);
+        let o = GmresOptions {
+            restart: 10,
+            target_rrn: 1e-8,
+            max_iters: 3000,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
+        assert!(r.stats.converged, "rrn {}", r.stats.final_rrn);
+        assert!(r.stats.restarts >= 2, "expected multiple restarts");
+    }
+
+    #[test]
+    fn f16_basis_converges_on_easy_problem_with_more_iterations() {
+        let a = gen::conv_diff_3d(9, 9, 9, [0.3, 0.2, 0.1], 0.4);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let o = opts(1e-7);
+        let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
+        let half = gmres::<DenseStore<F16>, _>(&a, &b, &x0, &o, &Identity);
+        assert!(full.stats.converged && half.stats.converged);
+        assert!(half.stats.iterations >= full.stats.iterations);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations_on_scaled_problem() {
+        // Badly row-scaled diagonal-dominant system: Jacobi fixes it.
+        let mut coo = spla::Coo::new(400, 400);
+        for i in 0..400 {
+            let s = f64::powi(10.0, (i % 7) as i32 - 3);
+            coo.push(i, i, 4.0 * s);
+            if i + 1 < 400 {
+                coo.push(i, i + 1, -1.0 * s);
+                coo.push(i + 1, i, -1.0 * s);
+            }
+        }
+        let a = coo.to_csr();
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; 400];
+        let o = opts(1e-10);
+        let plain = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
+        let jac = Jacobi::new(&a);
+        let pre = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &jac);
+        assert!(pre.stats.converged);
+        assert!(
+            pre.stats.iterations <= plain.stats.iterations,
+            "jacobi {} vs plain {}",
+            pre.stats.iterations,
+            plain.stats.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = Csr::identity(10);
+        let r = gmres::<DenseStore<f64>, _>(&a, &vec![0.0; 10], &vec![1.0; 10], &opts(1e-12), &Identity);
+        assert!(r.stats.converged);
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert_eq!(r.stats.iterations, 0);
+    }
+
+    #[test]
+    fn capture_basis_vector_is_normalized() {
+        let a = gen::conv_diff_3d(6, 6, 6, [0.2, 0.1, 0.0], 0.2);
+        let (_, b) = manufactured_rhs(&a);
+        let o = GmresOptions {
+            capture_basis_at: Some(5),
+            target_rrn: 1e-10,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 216], &o, &Identity);
+        let v = r.captured_basis_vector.expect("vector captured");
+        let nrm = spla::dense::norm2(&v);
+        assert!((nrm - 1.0).abs() < 1e-10, "basis vectors are unit norm, got {nrm}");
+    }
+
+    #[test]
+    fn max_iters_cap_reports_non_convergence() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.5, 0.0, 0.0], 0.0);
+        let (_, b) = manufactured_rhs(&a);
+        let o = GmresOptions {
+            target_rrn: 1e-30, // unattainable
+            max_iters: 50,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
+        assert!(!r.stats.converged);
+        assert_eq!(r.stats.iterations, 50);
+        assert!(r.stats.final_rrn > 0.0);
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.1);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; 512];
+        let o = opts(1e-9);
+        let r1 = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
+        let r2 = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
+        assert_eq!(r1.stats.iterations, r2.stats.iterations);
+        assert_eq!(r1.history.len(), r2.history.len());
+        for (p, q) in r1.history.iter().zip(&r2.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history must be bitwise equal");
+        }
+        for (a1, a2) in r1.x.iter().zip(&r2.x) {
+            assert_eq!(a1.to_bits(), a2.to_bits());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Restarted GMRES / Compressed-Basis GMRES with pluggable basis storage.
+//!
+//! The solver ([`gmres::gmres`]) implements the paper's Figure 1. Its
+//! Krylov basis is generic over [`numfmt::ColumnStorage`]:
+//!
+//! | storage type                  | paper label        |
+//! |-------------------------------|--------------------|
+//! | `DenseStore<f64>`             | `float64`          |
+//! | `DenseStore<f32>`             | `float32`          |
+//! | `DenseStore<F16>`             | `float16`          |
+//! | `DenseStore<BF16>`            | `bfloat16` (ext.)  |
+//! | `frsz2::Frsz2Store`           | `frsz2_l`          |
+//! | `lossy::RoundTripStore`       | Table II codecs    |
+//!
+//! (the `bench` crate wires the Table II codecs in via `RoundTripStore`)
+//!
+//! The `bench` crate resolves the paper's format names at runtime so the
+//! experiment binaries can sweep formats from the command line.
+
+pub mod basis;
+pub mod diagnostics;
+pub mod gmres;
+pub mod precond;
+
+pub use basis::Basis;
+pub use gmres::{gmres, gmres_with, GmresOptions, HistoryPoint, SolveResult, SolveStats};
+pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner};

@@ -1,0 +1,268 @@
+//! Preconditioners for right-preconditioned GMRES.
+//!
+//! The paper's evaluation runs *without* a preconditioner "to not blur
+//! the numerical impact" (§V-C) — [`Identity`] reproduces that setup.
+//! [`Jacobi`] and [`BlockJacobi`] are the optional extension the related
+//! work points at (\[15\]: adaptive-precision block-Jacobi): they exercise
+//! the `M⁻¹` hooks of Fig. 1 steps 3 and 17.
+
+use spla::Csr;
+
+/// Application of `M⁻¹` (right preconditioning: `w = A M⁻¹ v`).
+pub trait Preconditioner: Send + Sync {
+    /// `out = M⁻¹ v`.
+    fn apply(&self, v: &[f64], out: &mut [f64]);
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// No preconditioning (`M = I`) — the paper's configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    #[inline]
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(v);
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Point-Jacobi: `M = diag(A)`.
+#[derive(Clone, Debug)]
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Build from the matrix diagonal.
+    ///
+    /// # Panics
+    /// If any diagonal entry is zero.
+    pub fn new(a: &Csr) -> Self {
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                assert!(d != 0.0, "zero diagonal at row {i}: Jacobi undefined");
+                1.0 / d
+            })
+            .collect();
+        Jacobi { inv_diag }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    #[inline]
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        for ((o, &x), &d) in out.iter_mut().zip(v).zip(&self.inv_diag) {
+            *o = x * d;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+/// Block-Jacobi with dense inverted diagonal blocks of fixed size.
+///
+/// Blocks are factorized once with partial-pivoted LU; `apply` performs
+/// the two triangular solves per block.
+#[derive(Clone, Debug)]
+pub struct BlockJacobi {
+    n: usize,
+    bs: usize,
+    /// Per block: LU factors (row-major bs×bs) and pivot indices.
+    lu: Vec<(Vec<f64>, Vec<usize>)>,
+}
+
+impl BlockJacobi {
+    /// Extract and factorize the block diagonal of `a` with `block_size`.
+    ///
+    /// # Panics
+    /// If a diagonal block is numerically singular.
+    pub fn new(a: &Csr, block_size: usize) -> Self {
+        assert!(block_size >= 1);
+        let n = a.rows();
+        let mut lu = Vec::with_capacity(n.div_ceil(block_size));
+        for start in (0..n).step_by(block_size) {
+            let bs = block_size.min(n - start);
+            let mut block = vec![0.0; bs * bs];
+            for r in 0..bs {
+                let (cols, vals) = a.row(start + r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let c = c as usize;
+                    if c >= start && c < start + bs {
+                        block[r * bs + (c - start)] = v;
+                    }
+                }
+            }
+            lu.push(lu_factor(block, bs));
+        }
+        BlockJacobi {
+            n,
+            bs: block_size,
+            lu,
+        }
+    }
+}
+
+/// In-place partial-pivot LU. Returns (factors, pivots).
+fn lu_factor(mut m: Vec<f64>, n: usize) -> (Vec<f64>, Vec<usize>) {
+    let mut piv: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Pivot selection.
+        let (mut best, mut best_abs) = (k, m[k * n + k].abs());
+        for r in k + 1..n {
+            let a = m[r * n + k].abs();
+            if a > best_abs {
+                best = r;
+                best_abs = a;
+            }
+        }
+        assert!(best_abs > 0.0, "singular diagonal block in BlockJacobi");
+        if best != k {
+            for c in 0..n {
+                m.swap(k * n + c, best * n + c);
+            }
+            piv.swap(k, best);
+        }
+        let pivot = m[k * n + k];
+        for r in k + 1..n {
+            let f = m[r * n + k] / pivot;
+            m[r * n + k] = f;
+            for c in k + 1..n {
+                m[r * n + c] -= f * m[k * n + c];
+            }
+        }
+    }
+    (m, piv)
+}
+
+/// Solve `LU x = b[piv]` in place into `x`.
+fn lu_solve(lu: &[f64], piv: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = piv.len();
+    for i in 0..n {
+        x[i] = b[piv[i]];
+    }
+    // Forward substitution (unit lower).
+    for i in 0..n {
+        for j in 0..i {
+            x[i] -= lu[i * n + j] * x[j];
+        }
+    }
+    // Backward substitution.
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            x[i] -= lu[i * n + j] * x[j];
+        }
+        x[i] /= lu[i * n + i];
+    }
+}
+
+impl Preconditioner for BlockJacobi {
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        for (b, (lu, piv)) in self.lu.iter().enumerate() {
+            let start = b * self.bs;
+            let bs = piv.len();
+            lu_solve(lu, piv, &v[start..start + bs], &mut out[start..start + bs]);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "block-jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spla::Coo;
+
+    #[test]
+    fn identity_copies() {
+        let p = Identity;
+        let v = vec![1.0, -2.0, 3.0];
+        let mut out = vec![0.0; 3];
+        p.apply(&v, &mut out);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 0, 2.0);
+        m.push(1, 1, 4.0);
+        m.push(2, 2, -0.5);
+        m.push(0, 1, 9.0); // off-diagonal ignored by Jacobi
+        let p = Jacobi::new(&m.to_csr());
+        let mut out = vec![0.0; 3];
+        p.apply(&[2.0, 4.0, -0.5], &mut out);
+        assert_eq!(out, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn block_jacobi_inverts_block_diagonal_exactly() {
+        // Block-diagonal matrix with 2x2 blocks: BlockJacobi::apply must
+        // be a perfect inverse.
+        let mut m = Coo::new(4, 4);
+        // block 0: [[4, 1], [2, 3]]
+        m.push(0, 0, 4.0);
+        m.push(0, 1, 1.0);
+        m.push(1, 0, 2.0);
+        m.push(1, 1, 3.0);
+        // block 1: [[1, -1], [0, 2]]
+        m.push(2, 2, 1.0);
+        m.push(2, 3, -1.0);
+        m.push(3, 3, 2.0);
+        let a = m.to_csr();
+        let p = BlockJacobi::new(&a, 2);
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let b = a.mul_vec(&x);
+        let mut out = vec![0.0; 4];
+        p.apply(&b, &mut out);
+        for i in 0..4 {
+            assert!((out[i] - x[i]).abs() < 1e-14, "i={i}: {} vs {}", out[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn block_jacobi_handles_trailing_partial_block() {
+        let mut m = Coo::new(5, 5);
+        for i in 0..5 {
+            m.push(i, i, (i + 1) as f64);
+        }
+        let p = BlockJacobi::new(&m.to_csr(), 2);
+        let mut out = vec![0.0; 5];
+        p.apply(&[1.0, 2.0, 3.0, 4.0, 5.0], &mut out);
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn lu_pivoting_handles_zero_leading_entry() {
+        // [[0, 1], [1, 0]] requires a row swap.
+        let (lu, piv) = lu_factor(vec![0.0, 1.0, 1.0, 0.0], 2);
+        let mut x = vec![0.0; 2];
+        lu_solve(&lu, &piv, &[3.0, 7.0], &mut x);
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_block_panics() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 1, 1.0);
+        m.push(1, 0, 1.0);
+        m.push(1, 1, 1.0);
+        BlockJacobi::new(&m.to_csr(), 2);
+    }
+}

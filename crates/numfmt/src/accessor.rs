@@ -1,0 +1,330 @@
+//! The Ginkgo-style accessor: storage format decoupled from arithmetic.
+//!
+//! CB-GMRES touches the Krylov basis through exactly three patterns:
+//!
+//! 1. a whole column is written once, immediately after normalization
+//!    (compression happens here, and only here — FRSZ2 cannot update
+//!    single elements because the block exponent would change, §IV-A);
+//! 2. columns are streamed forward during orthogonalization (dots and
+//!    axpys) — served by [`ColumnStorage::read_chunk`] over block-aligned
+//!    row ranges so each thread decompresses only its own rows;
+//! 3. occasional random access for diagnostics — [`ColumnStorage::load`].
+//!
+//! The solver is generic over [`ColumnStorage`], so swapping `float64` for
+//! `float32`, `float16`, `bfloat16` or any `frsz2_l` variant is a type
+//! parameter change, mirroring `Acc<...>` in the paper's Figure 4.
+
+/// A value-level storage format: each f64 is converted independently.
+///
+/// This is the "compression by casting to low precision" of the original
+/// CB-GMRES paper. All arithmetic stays in f64; only the stored bytes are
+/// narrow.
+pub trait StoredScalar: Copy + Send + Sync + Default + 'static {
+    /// Display name matching the paper's labels (`float64`, `float32`, ...).
+    const NAME: &'static str;
+    fn encode(x: f64) -> Self;
+    fn decode(self) -> f64;
+}
+
+impl StoredScalar for f64 {
+    const NAME: &'static str = "float64";
+    #[inline(always)]
+    fn encode(x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    fn decode(self) -> f64 {
+        self
+    }
+}
+
+impl StoredScalar for f32 {
+    const NAME: &'static str = "float32";
+    #[inline(always)]
+    fn encode(x: f64) -> f32 {
+        x as f32
+    }
+    #[inline(always)]
+    fn decode(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Lazily-built 65536-entry decode table: f16 -> f64 widening is in the
+/// solver's innermost loop, and a 512 KiB table beats the branchy bit
+/// manipulation there.
+fn f16_decode_table() -> &'static [f64; 1 << 16] {
+    static TABLE: std::sync::OnceLock<Box<[f64; 1 << 16]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0.0f64; 1 << 16];
+        for (bits, slot) in t.iter_mut().enumerate() {
+            *slot = crate::F16::from_bits(bits as u16).to_f64();
+        }
+        t.into_boxed_slice().try_into().unwrap()
+    })
+}
+
+impl StoredScalar for crate::F16 {
+    const NAME: &'static str = "float16";
+    #[inline(always)]
+    fn encode(x: f64) -> crate::F16 {
+        crate::F16::from_f64(x)
+    }
+    #[inline(always)]
+    fn decode(self) -> f64 {
+        f16_decode_table()[self.to_bits() as usize]
+    }
+}
+
+impl StoredScalar for crate::BF16 {
+    const NAME: &'static str = "bfloat16";
+    #[inline(always)]
+    fn encode(x: f64) -> crate::BF16 {
+        crate::BF16::from_f64(x)
+    }
+    #[inline(always)]
+    fn decode(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+/// Column-major matrix of f64 values held in an arbitrary storage format.
+///
+/// `rows` is fixed at construction; columns are written whole and read
+/// back either whole, in chunks, or element-wise. Implementations must be
+/// `Sync` so the solver can decompress disjoint row ranges from multiple
+/// threads concurrently.
+pub trait ColumnStorage: Send + Sync {
+    /// Allocate storage for a `rows x cols` matrix (zero-initialized).
+    fn with_shape(rows: usize, cols: usize) -> Self
+    where
+        Self: Sized;
+
+    fn rows(&self) -> usize;
+    fn cols(&self) -> usize;
+
+    /// Overwrite column `j` with `data` (`data.len() == rows`).
+    /// This is the compression step.
+    fn write_column(&mut self, j: usize, data: &[f64]);
+
+    /// Decompress rows `row_start .. row_start + out.len()` of column `j`.
+    ///
+    /// `row_start` must be a multiple of [`Self::chunk_align`] and
+    /// `out.len()` a multiple of it too (except for the final chunk of a
+    /// column). This lets block formats decode whole blocks without
+    /// cross-chunk state.
+    fn read_chunk(&self, j: usize, row_start: usize, out: &mut [f64]);
+
+    /// Decompress all of column `j` into `out` (`out.len() == rows`).
+    fn read_column(&self, j: usize, out: &mut [f64]) {
+        self.read_chunk(j, 0, out);
+    }
+
+    /// Random access to element `(i, j)`.
+    fn load(&self, i: usize, j: usize) -> f64;
+
+    /// Required row alignment of chunked reads (1 for scalar formats,
+    /// the block size for FRSZ2).
+    fn chunk_align(&self) -> usize {
+        1
+    }
+
+    /// Fused dot product: `Σ_i column_j[row_start + i] · w[i]`, the
+    /// orthogonalization kernel. The default tiles through a small stack
+    /// buffer; formats override with copy-free loops.
+    fn dot_chunk(&self, j: usize, row_start: usize, w: &[f64]) -> f64 {
+        let mut tile = [0.0f64; 512];
+        let mut acc = 0.0;
+        let mut off = 0;
+        while off < w.len() {
+            let len = 512.min(w.len() - off);
+            self.read_chunk(j, row_start + off, &mut tile[..len]);
+            for (a, b) in tile[..len].iter().zip(&w[off..off + len]) {
+                acc += a * b;
+            }
+            off += len;
+        }
+        acc
+    }
+
+    /// Fused axpy: `w[i] += alpha · column_j[row_start + i]`, the
+    /// projection-update kernel. Same tiling default as
+    /// [`ColumnStorage::dot_chunk`].
+    fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
+        let mut tile = [0.0f64; 512];
+        let mut off = 0;
+        while off < w.len() {
+            let len = 512.min(w.len() - off);
+            self.read_chunk(j, row_start + off, &mut tile[..len]);
+            for (b, a) in w[off..off + len].iter_mut().zip(&tile[..len]) {
+                *b += alpha * a;
+            }
+            off += len;
+        }
+    }
+
+    /// Bytes of storage actually occupied by one column, including any
+    /// per-block metadata. Drives the memory-traffic model.
+    fn column_bytes(&self) -> usize;
+
+    /// Average storage rate in bits per value (Eq. 3 for FRSZ2).
+    fn bits_per_value(&self) -> f64 {
+        self.column_bytes() as f64 * 8.0 / self.rows() as f64
+    }
+
+    /// Display name matching the paper's labels.
+    fn format_name(&self) -> String;
+}
+
+/// [`ColumnStorage`] backed by a flat `Vec<T>` of independently-cast values.
+#[derive(Clone, Debug)]
+pub struct DenseStore<T: StoredScalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: StoredScalar> DenseStore<T> {
+    /// Borrow the raw stored column (test/diagnostic use).
+    pub fn column_raw(&self, j: usize) -> &[T] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+}
+
+impl<T: StoredScalar> ColumnStorage for DenseStore<T> {
+    fn with_shape(rows: usize, cols: usize) -> Self {
+        DenseStore {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn write_column(&mut self, j: usize, data: &[f64]) {
+        assert_eq!(data.len(), self.rows, "column length mismatch");
+        assert!(j < self.cols, "column index {j} out of range");
+        let col = &mut self.data[j * self.rows..(j + 1) * self.rows];
+        for (dst, &src) in col.iter_mut().zip(data) {
+            *dst = T::encode(src);
+        }
+    }
+
+    #[inline]
+    fn read_chunk(&self, j: usize, row_start: usize, out: &mut [f64]) {
+        debug_assert!(row_start + out.len() <= self.rows);
+        let col = &self.data[j * self.rows + row_start..j * self.rows + row_start + out.len()];
+        for (dst, src) in out.iter_mut().zip(col) {
+            *dst = src.decode();
+        }
+    }
+
+    #[inline]
+    fn load(&self, i: usize, j: usize) -> f64 {
+        self.data[j * self.rows + i].decode()
+    }
+
+    #[inline]
+    fn dot_chunk(&self, j: usize, row_start: usize, w: &[f64]) -> f64 {
+        let col = &self.data[j * self.rows + row_start..j * self.rows + row_start + w.len()];
+        let mut acc = 0.0;
+        for (a, b) in col.iter().zip(w) {
+            acc += a.decode() * b;
+        }
+        acc
+    }
+
+    #[inline]
+    fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
+        let col = &self.data[j * self.rows + row_start..j * self.rows + row_start + w.len()];
+        for (b, a) in w.iter_mut().zip(col) {
+            *b += alpha * a.decode();
+        }
+    }
+
+    fn column_bytes(&self) -> usize {
+        self.rows * std::mem::size_of::<T>()
+    }
+
+    fn format_name(&self) -> String {
+        T::NAME.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BF16, F16};
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 - 8.0) / 3.0).collect()
+    }
+
+    #[test]
+    fn f64_store_is_lossless() {
+        let mut st = DenseStore::<f64>::with_shape(17, 3);
+        let v = ramp(17);
+        st.write_column(1, &v);
+        let mut out = vec![0.0; 17];
+        st.read_column(1, &mut out);
+        assert_eq!(out, v);
+        assert_eq!(st.load(5, 1), v[5]);
+        assert_eq!(st.column_bytes(), 17 * 8);
+        assert_eq!(st.format_name(), "float64");
+    }
+
+    #[test]
+    fn f32_store_rounds_once() {
+        let mut st = DenseStore::<f32>::with_shape(9, 1);
+        let v = ramp(9);
+        st.write_column(0, &v);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(st.load(i, 0), x as f32 as f64);
+        }
+        assert!((st.bits_per_value() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f16_and_bf16_stores_decode_to_nearest() {
+        let v = ramp(33);
+        let mut h = DenseStore::<F16>::with_shape(33, 1);
+        let mut b = DenseStore::<BF16>::with_shape(33, 1);
+        h.write_column(0, &v);
+        b.write_column(0, &v);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(h.load(i, 0), F16::from_f64(x).to_f64());
+            assert_eq!(b.load(i, 0), BF16::from_f64(x).to_f64());
+        }
+    }
+
+    #[test]
+    fn chunked_reads_cover_column() {
+        let mut st = DenseStore::<f32>::with_shape(100, 2);
+        let v = ramp(100);
+        st.write_column(1, &v);
+        let mut full = vec![0.0; 100];
+        st.read_column(1, &mut full);
+        let mut pieced = vec![0.0; 100];
+        for start in (0..100).step_by(32) {
+            let len = 32.min(100 - start);
+            st.read_chunk(1, start, &mut pieced[start..start + len]);
+        }
+        assert_eq!(full, pieced);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn wrong_column_length_panics() {
+        let mut st = DenseStore::<f64>::with_shape(4, 1);
+        st.write_column(0, &[1.0, 2.0]);
+    }
+}

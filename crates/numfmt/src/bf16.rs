@@ -1,0 +1,138 @@
+//! Software bfloat16 (brain floating point) with round-to-nearest-even.
+//!
+//! Layout: 1 sign bit, 8 exponent bits (bias 127, same as `f32`), 7
+//! mantissa bits. bfloat16 is not evaluated in the paper but is the other
+//! 16-bit storage format every GPU generation since A100 supports; it is
+//! provided as an extension format for the CB-GMRES storage sweep (same
+//! range as `f32`, less precision than binary16).
+
+/// bfloat16 value stored as its bit pattern (top half of the `f32` layout).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct BF16(pub u16);
+
+impl BF16 {
+    pub const ZERO: BF16 = BF16(0);
+    pub const ONE: BF16 = BF16(0x3F80);
+    pub const INFINITY: BF16 = BF16(0x7F80);
+    pub const NEG_INFINITY: BF16 = BF16(0xFF80);
+    pub const NAN: BF16 = BF16(0x7FC0);
+
+    /// Convert from `f32` with round-to-nearest-even on the low 16 bits.
+    pub fn from_f32(x: f32) -> BF16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Keep sign + a nonzero quiet payload.
+            return BF16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 1u32 << 15;
+        let rem = bits & 0xFFFF;
+        let mut hi = bits >> 16;
+        if rem > round_bit || (rem == round_bit && hi & 1 == 1) {
+            // Carry may flow into the exponent and saturate to infinity;
+            // the encoding is continuous, so plain +1 is correct.
+            hi += 1;
+        }
+        BF16(hi as u16)
+    }
+
+    /// Convert from `f64`. Rounds `f64 -> f32 -> bf16`; the double rounding
+    /// can differ from a fused single rounding only for values within half
+    /// an `f32` ULP of a bf16 rounding boundary, which is irrelevant for a
+    /// 7-bit storage format (documented, matches what GPU cvt chains do).
+    pub fn from_f64(x: f64) -> BF16 {
+        BF16::from_f32(x as f32)
+    }
+
+    /// Widen to `f32` (exact: append 16 zero bits).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Widen to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7F80 == 0x7F80 && self.0 & 0x007F != 0
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.0 & 0x7F80 != 0x7F80
+    }
+
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    pub fn from_bits(bits: u16) -> BF16 {
+        BF16(bits)
+    }
+}
+
+impl std::fmt::Debug for BF16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BF16({})", self.to_f64())
+    }
+}
+
+impl From<f64> for BF16 {
+    fn from(x: f64) -> BF16 {
+        BF16::from_f64(x)
+    }
+}
+
+impl From<BF16> for f64 {
+    fn from(x: BF16) -> f64 {
+        x.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(BF16::from_f64(1.0).to_bits(), 0x3F80);
+        assert_eq!(BF16::from_f64(-2.0).to_bits(), 0xC000);
+        assert_eq!(BF16::from_f64(0.0).to_bits(), 0x0000);
+        assert_eq!(BF16::from_f64(-0.0).to_bits(), 0x8000);
+        // bf16 keeps f32 range: 1e38 stays finite, 1e39 overflows.
+        assert!(BF16::from_f64(1e38).is_finite());
+        assert!(!BF16::from_f64(1e39).is_finite());
+    }
+
+    #[test]
+    fn rtne_on_boundary() {
+        // 1 + 2^-8 is halfway between 1.0 and the next bf16 (1 + 2^-7).
+        assert_eq!(BF16::from_f32(1.0 + f32::powi(2.0, -8)).to_bits(), 0x3F80);
+        // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6 -> even is 1+2^-6.
+        assert_eq!(
+            BF16::from_f32(1.0 + 3.0 * f32::powi(2.0, -8)).to_bits(),
+            0x3F82
+        );
+    }
+
+    #[test]
+    fn exhaustive_round_trip() {
+        for bits in 0..=u16::MAX {
+            let b = BF16::from_bits(bits);
+            if b.is_nan() {
+                assert!(BF16::from_f32(b.to_f32()).is_nan());
+            } else {
+                assert_eq!(BF16::from_f32(b.to_f32()).to_bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_into_exponent_saturates() {
+        // Largest finite bf16 is 0x7F7F; anything that rounds past it must
+        // become infinity, not wrap into NaN space.
+        let max = BF16::from_bits(0x7F7F).to_f32();
+        let just_over = max * (1.0 + f32::powi(2.0, -8) * 1.5);
+        assert_eq!(BF16::from_f32(just_over).to_bits(), 0x7F80);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the software float formats and dense accessors.
+
+use numfmt::{ColumnStorage, DenseStore, BF16, F16};
+use proptest::prelude::*;
+
+proptest! {
+    /// f64 -> f16 must round to the *nearest* representable f16: no other
+    /// f16 value may be strictly closer.
+    #[test]
+    fn f16_is_nearest(x in -70000.0f64..70000.0) {
+        let h = F16::from_f64(x);
+        if h.is_finite() {
+            let got = h.to_f64();
+            let err = (got - x).abs();
+            // Probe the two neighbouring encodings.
+            for delta in [-1i32, 1] {
+                let nb = F16::from_bits((h.to_bits() as i32 + delta) as u16);
+                if nb.is_finite() && (nb.to_bits() & 0x8000) == (h.to_bits() & 0x8000) {
+                    let nerr = (nb.to_f64() - x).abs();
+                    prop_assert!(err <= nerr,
+                        "{x}: chose {got} (err {err}) but neighbour {} is closer ({nerr})",
+                        nb.to_f64());
+                }
+            }
+        }
+    }
+
+    /// Relative error of a finite f16 conversion of a normal-range value is
+    /// bounded by half an ULP: 2^-11.
+    #[test]
+    fn f16_relative_error_bound(x in prop::num::f64::NORMAL) {
+        let small = 6.103515625e-5; // f16 min normal
+        let big = 65504.0;
+        let y = x.abs().clamp(small, big).copysign(x);
+        let h = F16::from_f64(y).to_f64();
+        prop_assert!(((h - y) / y).abs() <= f64::powi(2.0, -11) * (1.0 + 1e-12));
+    }
+
+    /// bf16 keeps the f32 exponent, so any f32-representable magnitude
+    /// converts with relative error <= 2^-8.
+    #[test]
+    fn bf16_relative_error_bound(x in prop::num::f64::NORMAL) {
+        let y = x.abs().clamp(1.2e-38, 3.0e38).copysign(x);
+        let b = BF16::from_f64(y).to_f64();
+        prop_assert!(((b - y) / y).abs() <= f64::powi(2.0, -8) * (1.0 + 1e-9));
+    }
+
+    /// DenseStore read_chunk agrees with load element-wise for every format.
+    #[test]
+    fn dense_store_chunk_vs_load(
+        vals in prop::collection::vec(-1.0f64..1.0, 1..200),
+        split in 0usize..200,
+    ) {
+        let n = vals.len();
+        let split = split % n.max(1);
+        macro_rules! check {
+            ($t:ty) => {{
+                let mut st = DenseStore::<$t>::with_shape(n, 1);
+                st.write_column(0, &vals);
+                let mut out = vec![0.0; n];
+                st.read_chunk(0, 0, &mut out[..split]);
+                st.read_chunk(0, split, &mut out[split..]);
+                for i in 0..n {
+                    prop_assert_eq!(out[i], st.load(i, 0));
+                }
+            }};
+        }
+        check!(f64);
+        check!(f32);
+        check!(F16);
+        check!(BF16);
+    }
+
+    /// Storing through f32 then reading back equals a plain `as f32 as f64`
+    /// cast chain (the accessor adds no extra rounding).
+    #[test]
+    fn f32_store_single_rounding(x in prop::num::f64::ANY) {
+        prop_assume!(x.is_finite());
+        let mut st = DenseStore::<f32>::with_shape(1, 1);
+        st.write_column(0, &[x]);
+        prop_assert_eq!(st.load(0, 0), x as f32 as f64);
+    }
+}

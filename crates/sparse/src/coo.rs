@@ -1,0 +1,123 @@
+//! Coordinate (triplet) sparse matrix assembly.
+//!
+//! COO is the assembly format: generators and the MatrixMarket reader
+//! push `(row, col, value)` triplets in any order, then convert to
+//! [`crate::Csr`] for compute. Duplicate entries are summed on
+//! conversion (the usual finite-element assembly convention).
+
+/// Sparse matrix in coordinate form.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Empty matrix of the given shape.
+    ///
+    /// # Panics
+    /// If a dimension exceeds `u32::MAX` (indices are stored as `u32` to
+    /// halve index bandwidth, matching the paper's 32-bit index
+    /// optimization (4) of §IV-C).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        let mut m = Coo::new(rows, cols);
+        m.entries.reserve(nnz);
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates not yet merged).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `value` at `(row, col)`; duplicates accumulate on conversion.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows, "row {row} out of bounds {}", self.rows);
+        debug_assert!(col < self.cols, "col {col} out of bounds {}", self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    pub fn entries(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    /// Sort triplets row-major and sum duplicates.
+    pub fn compact(&mut self) {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Convert to CSR, summing duplicates and dropping explicit zeros
+    /// produced by cancellation.
+    pub fn to_csr(mut self) -> crate::Csr {
+        self.compact();
+        self.entries.retain(|&(_, _, v)| v != 0.0);
+        crate::Csr::from_sorted_coo(self.rows, self.cols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_compact_merges_duplicates() {
+        let mut m = Coo::new(3, 3);
+        m.push(1, 1, 2.0);
+        m.push(0, 2, 1.0);
+        m.push(1, 1, 3.0);
+        m.push(2, 0, -1.0);
+        m.compact();
+        assert_eq!(
+            m.entries(),
+            &[(0, 2, 1.0), (1, 1, 5.0), (2, 0, -1.0)]
+        );
+    }
+
+    #[test]
+    fn cancellation_drops_entry_in_csr() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 1, 4.0);
+        m.push(0, 1, -4.0);
+        m.push(1, 1, 1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.row(0), (&[0u32][..], &[1.0][..]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn out_of_bounds_push_panics_in_debug() {
+        let mut m = Coo::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+}

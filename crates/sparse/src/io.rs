@@ -1,0 +1,170 @@
+//! MatrixMarket (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate real {general,symmetric}` and
+//! `matrix coordinate integer {general,symmetric}` headers — enough to
+//! load every Table I matrix from the SuiteSparse collection when the
+//! real files are available (`--mtx PATH` in the experiment binaries).
+
+use crate::Coo;
+use std::io::{BufRead, Write};
+
+/// Parse a MatrixMarket stream into COO form.
+///
+/// Symmetric files are expanded (the strictly-lower triangle is
+/// mirrored). 1-based indices are converted to 0-based.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<Coo> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = reader.lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty MatrixMarket file"))??;
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if h.len() < 5 || !h[0].starts_with("%%matrixmarket") || h[1] != "matrix" {
+        return Err(bad("not a MatrixMarket matrix header"));
+    }
+    if h[2] != "coordinate" {
+        return Err(bad("only coordinate format is supported"));
+    }
+    if h[3] != "real" && h[3] != "integer" {
+        return Err(bad("only real/integer fields are supported"));
+    }
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(bad(&format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Skip comments, read the size line.
+    let size_line = loop {
+        let line = lines.next().ok_or_else(|| bad("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break t.to_string();
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(bad("size line must be 'rows cols nnz'"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(rows, cols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad entry row"))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad entry col"))?;
+        let v: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad entry value"))?;
+        if r < 1 || r > rows || c < 1 || c > cols {
+            return Err(bad(&format!("entry ({r},{c}) out of bounds")));
+        }
+        coo.push(r - 1, c - 1, v);
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(bad(&format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo)
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(a: &crate::Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by the FRSZ2 reproduction workspace")?;
+    writeln!(w, "{} {} {}", a.rows(), a.cols(), a.nnz())?;
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment line\n\
+                    3 3 4\n\
+                    1 1 2.5\n\
+                    2 2 -1.0\n\
+                    3 1 4.0\n\
+                    3 3 1e-3\n";
+        let coo = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        let a = coo.to_csr();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.row(2), (&[0u32, 2][..], &[4.0, 1e-3][..]));
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 3.0\n\
+                    2 1 -1.5\n";
+        let a = read_matrix_market(BufReader::new(text.as_bytes()))
+            .unwrap()
+            .to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.row(0), (&[0u32, 1][..], &[3.0, -1.5][..]));
+        assert_eq!(a.row(1), (&[0u32][..], &[-1.5][..]));
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = crate::gen::conv_diff_3d(4, 3, 2, [0.2, 0.0, 0.0], 0.5);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        assert_eq!(back.rows(), m.rows());
+        assert_eq!(back.nnz(), m.nnz());
+        assert_eq!(back.col_indices(), m.col_indices());
+        for (a, b) in back.values().iter().zip(m.values()) {
+            assert_eq!(a, b, "17-digit round trip must be exact");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for text in [
+            "",                                                    // empty
+            "%%MatrixMarket matrix array real general\n2 2 4\n",   // array format
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",    // OOB
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",    // count
+        ] {
+            assert!(
+                read_matrix_market(BufReader::new(text.as_bytes())).is_err(),
+                "should reject: {text:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Sparse linear-algebra substrate for the FRSZ2 / CB-GMRES reproduction.
+//!
+//! Provides everything the solver and the evaluation need below the Krylov
+//! layer:
+//!
+//! * [`coo`]/[`csr`] — triplet assembly and compressed-sparse-row storage
+//!   with rayon-parallel SpMV (the memory-bound kernel of GMRES step 3),
+//! * [`dense`] — deterministic parallel vector kernels (dot, norm2, axpy),
+//! * [`io`] — MatrixMarket reading/writing so the real SuiteSparse
+//!   matrices of Table I can be dropped in when available,
+//! * [`gen`] — parameterized problem generators (convection–diffusion
+//!   stencils, scaled wide-dynamic-range operators, tree transport),
+//! * [`suite`] — the eleven named analogues of the paper's Table I test
+//!   set, with the published sizes, non-zero counts and target relative
+//!   residual norms,
+//! * [`stats`] — value/exponent histograms (Figs. 2 and 10).
+//!
+//! All generators are deterministic: the same name and scale always
+//! produce the same matrix, so solver histories are reproducible.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod stats;
+pub mod suite;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use suite::{SuiteMatrix, TableOneEntry, TABLE_ONE};

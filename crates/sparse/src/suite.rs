@@ -1,0 +1,231 @@
+//! The Table I test suite: synthetic analogues of the eleven SuiteSparse
+//! CFD matrices with the published metadata.
+//!
+//! Each entry records the *paper's* size/nnz/target-RRN and builds a
+//! scaled synthetic matrix reproducing the property that drives that
+//! matrix's behaviour in the evaluation (see `gen` module docs and
+//! DESIGN.md §1). `scale = 1.0` produces the default laptop-scale
+//! problem; the paper-scale dimensions are recorded for reference.
+//!
+//! Real `.mtx` files can be substituted at any time via
+//! [`crate::io::read_matrix_market`].
+
+use crate::gen;
+use crate::Csr;
+
+/// One row of the paper's Table I.
+#[derive(Clone, Copy, Debug)]
+pub struct TableOneEntry {
+    pub name: &'static str,
+    /// Rows in the SuiteSparse original.
+    pub paper_rows: usize,
+    /// Non-zeros in the SuiteSparse original.
+    pub paper_nnz: usize,
+    /// Target relative residual norm (stopping criterion, §V-C).
+    pub target_rrn: f64,
+}
+
+/// Table I of the paper, verbatim.
+pub const TABLE_ONE: [TableOneEntry; 11] = [
+    TableOneEntry { name: "atmosmodd", paper_rows: 1_270_432, paper_nnz: 8_814_880, target_rrn: 4.0e-16 },
+    TableOneEntry { name: "atmosmodj", paper_rows: 1_270_432, paper_nnz: 8_814_880, target_rrn: 4.0e-16 },
+    TableOneEntry { name: "atmosmodl", paper_rows: 1_489_752, paper_nnz: 10_319_760, target_rrn: 4.0e-16 },
+    TableOneEntry { name: "atmosmodm", paper_rows: 1_489_752, paper_nnz: 10_319_760, target_rrn: 4.0e-16 },
+    TableOneEntry { name: "cfd2", paper_rows: 123_440, paper_nnz: 3_085_406, target_rrn: 1.8e-10 },
+    TableOneEntry { name: "HV15R", paper_rows: 2_017_169, paper_nnz: 283_073_458, target_rrn: 1.6e-02 },
+    TableOneEntry { name: "lung2", paper_rows: 109_460, paper_nnz: 492_564, target_rrn: 1.8e-08 },
+    TableOneEntry { name: "parabolic_fem", paper_rows: 525_825, paper_nnz: 3_674_625, target_rrn: 4.0e-16 },
+    TableOneEntry { name: "PR02R", paper_rows: 161_070, paper_nnz: 8_185_136, target_rrn: 4.0e-03 },
+    TableOneEntry { name: "RM07R", paper_rows: 381_689, paper_nnz: 37_464_962, target_rrn: 8.0e-03 },
+    TableOneEntry { name: "StocF-1465", paper_rows: 1_465_137, paper_nnz: 21_005_389, target_rrn: 4.0e-06 },
+];
+
+/// A built suite problem: metadata plus the assembled operator.
+pub struct SuiteMatrix {
+    pub entry: TableOneEntry,
+    pub matrix: Csr,
+}
+
+/// Names of all suite matrices in Table I order.
+pub fn names() -> Vec<&'static str> {
+    TABLE_ONE.iter().map(|e| e.name).collect()
+}
+
+/// Stopping target for the *synthetic analogue* of `name`.
+///
+/// The paper derives each target from what 20 000 iterations of plain
+/// f64 GMRES achieve on its system, "with some wiggle room" (§V-C). The
+/// same procedure applied to the analogues yields these values; where an
+/// analogue reaches the paper's Table I target trivially or not at all,
+/// the analogue-calibrated value replaces it (deviations recorded in
+/// EXPERIMENTS.md).
+pub fn analogue_target(name: &str) -> Option<f64> {
+    Some(match name {
+        "atmosmodd" | "atmosmodj" | "atmosmodl" | "atmosmodm" => 4.0e-16,
+        "cfd2" => 1.8e-10,
+        "HV15R" => 4.0e-10,
+        "lung2" => 1.8e-08,
+        "parabolic_fem" => 4.0e-16,
+        "PR02R" => 1.0e-12,
+        "RM07R" => 8.0e-10,
+        "StocF-1465" => 4.0e-06,
+        _ => return None,
+    })
+}
+
+/// Look up the Table I metadata for `name`.
+pub fn entry(name: &str) -> Option<&'static TableOneEntry> {
+    TABLE_ONE.iter().find(|e| e.name == name)
+}
+
+/// Grid edge scaled by `scale`, with a floor so tiny test scales stay valid.
+fn dim(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(4)
+}
+
+/// Build the synthetic analogue of `name` at linear-dimension `scale`
+/// (1.0 = default experiment size, chosen so the Krylov basis exceeds
+/// CPU caches while a solve takes seconds; the paper-scale original
+/// sizes are in [`TABLE_ONE`]).
+///
+/// Returns `None` for unknown names.
+pub fn build(name: &str, scale: f64) -> Option<SuiteMatrix> {
+    let e = *entry(name)?;
+    let matrix = match name {
+        // Atmospheric models: non-symmetric 7-pt convection-diffusion.
+        // d/j differ in wind direction, l/m are larger with milder wind
+        // (mirroring the d/j vs l/m grouping of the originals).
+        "atmosmodd" => conv(36, [0.55, 0.25, 0.10], 0.028, scale),
+        "atmosmodj" => conv(36, [-0.55, 0.25, -0.10], 0.028, scale),
+        "atmosmodl" => conv(40, [0.30, 0.15, 0.05], 0.032, scale),
+        "atmosmodm" => conv(40, [0.35, -0.12, 0.04], 0.036, scale),
+        // SPD pressure solve, high nnz/row: 27-pt symmetric-ish stencil.
+        "cfd2" => {
+            let d = dim(30, scale);
+            gen::stencil_27pt(d, d, d, 0.0, 0.02)
+        }
+        // Huge CFD matrix whose value ordering keeps neighbouring Krylov
+        // entries at similar magnitude: smooth-in-z scaling (§VI-A).
+        "HV15R" => {
+            let d = dim(24, scale);
+            let mut a = gen::stencil_27pt(d, d, d, 0.25, -0.045);
+            let phi = gen::phi_smooth_z(d, d, d, 20);
+            gen::apply_similarity_scaling(&mut a, &phi);
+            a
+        }
+        // Airway-tree transport, ~3.5 nnz/row.
+        "lung2" => {
+            let levels = ((16.0 + scale.log2()).round() as u32).clamp(6, 24);
+            gen::tree_transport(levels, 0.45, 0.02)
+        }
+        // Implicit-Euler heat equation: SPD, well conditioned.
+        "parabolic_fem" => {
+            let d = dim(40, scale);
+            gen::diffusion_3d(d, d, d, |_, _, _| 1.0, 0.30)
+        }
+        // Reactive flow with spatially-decorrelated magnitudes: the FRSZ2
+        // worst case (within-block exponent spread > l-2, Fig. 9b/10).
+        // A barely-shifted convective stencil needs hundreds of
+        // iterations, so the basis-compression error has time to bite.
+        "PR02R" => {
+            let d = dim(26, scale);
+            let mut a = gen::conv_diff_3d(d, d, d, [0.45, 0.25, 0.15], 0.004);
+            let phi = gen::phi_uncorrelated(a.rows(), 42, 0x5202);
+            gen::apply_similarity_scaling(&mut a, &phi);
+            a
+        }
+        // Similar physics, moderate magnitude spread: mild FRSZ2 impact.
+        "RM07R" => {
+            let d = dim(28, scale);
+            let mut a = gen::conv_diff_3d(d, d, d, [0.50, 0.20, 0.10], 0.012);
+            let phi = gen::phi_uncorrelated(a.rows(), 10, 0x0707);
+            gen::apply_similarity_scaling(&mut a, &phi);
+            a
+        }
+        // Stochastic-permeability flow: smooth log-normal-like field wide
+        // enough to break float16 (range far below 2^-24) but not float32.
+        "StocF-1465" => {
+            let d = dim(40, scale);
+            let mut a = gen::diffusion_3d(d, d, d, |_, _, _| 1.0, 0.04);
+            let phi = gen::phi_smooth_field(d, d, d, 38, 0x1465);
+            gen::apply_similarity_scaling(&mut a, &phi);
+            a
+        }
+        _ => return None,
+    };
+    Some(SuiteMatrix { entry: e, matrix })
+}
+
+/// Shared builder for the atmosmod family.
+fn conv(base: usize, wind: [f64; 3], shift: f64, scale: f64) -> Csr {
+    let d = |b| dim(b, scale);
+    gen::conv_diff_3d(d(base), d(base), d(base), wind, shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_matches_paper() {
+        assert_eq!(TABLE_ONE.len(), 11);
+        let e = entry("atmosmodd").unwrap();
+        assert_eq!(e.paper_rows, 1_270_432);
+        assert_eq!(e.target_rrn, 4.0e-16);
+        let h = entry("HV15R").unwrap();
+        assert_eq!(h.paper_nnz, 283_073_458);
+        assert_eq!(entry("PR02R").unwrap().target_rrn, 4.0e-03);
+        assert!(entry("nope").is_none());
+    }
+
+    #[test]
+    fn all_matrices_build_at_tiny_scale() {
+        for name in names() {
+            let m = build(name, 0.25).unwrap_or_else(|| panic!("{name} failed"));
+            assert!(m.matrix.rows() > 0, "{name} empty");
+            assert_eq!(m.matrix.rows(), m.matrix.cols(), "{name} not square");
+            assert!(m.matrix.nnz() > m.matrix.rows(), "{name} too sparse");
+            // Diagonal must be fully populated for Jacobi and stability.
+            assert!(
+                m.matrix.diagonal().iter().all(|&d| d != 0.0),
+                "{name} has zero diagonal entries"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_classes_are_as_documented() {
+        // GMRES territory: atmosmod/lung2/PR02R are non-symmetric.
+        for name in ["atmosmodd", "lung2", "PR02R", "RM07R", "HV15R"] {
+            let m = build(name, 0.25).unwrap();
+            assert!(m.matrix.asymmetry() > 1e-3, "{name} should be non-symmetric");
+        }
+        for name in ["cfd2", "parabolic_fem"] {
+            let m = build(name, 0.25).unwrap();
+            assert!(m.matrix.asymmetry() < 1e-12, "{name} should be symmetric");
+        }
+        // StocF scaling is a similarity transform of an SPD operator:
+        // non-symmetric as stored.
+        let s = build("StocF-1465", 0.2).unwrap();
+        assert!(s.matrix.asymmetry() > 1e-3);
+    }
+
+    #[test]
+    fn pr02r_values_span_many_binades_hv15r_smooth() {
+        use crate::stats::exponent_range;
+        let p = build("PR02R", 0.25).unwrap();
+        let (lo, hi) = exponent_range(p.matrix.values());
+        assert!(hi - lo >= 60, "PR02R analogue spread too small: {}", hi - lo);
+        let h = build("HV15R", 0.25).unwrap();
+        let (lo2, hi2) = exponent_range(h.matrix.values());
+        assert!(hi2 - lo2 >= 8, "HV15R analogue should still span binades");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build("PR02R", 0.2).unwrap();
+        let b = build("PR02R", 0.2).unwrap();
+        assert_eq!(a.matrix.values(), b.matrix.values());
+        assert_eq!(a.matrix.col_indices(), b.matrix.col_indices());
+    }
+}

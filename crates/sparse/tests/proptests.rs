@@ -1,0 +1,110 @@
+//! Property tests for the sparse substrate.
+
+use proptest::prelude::*;
+use spla::{dense, io, Coo};
+use std::io::BufReader;
+
+/// Random small dense matrix as triplets (possibly with duplicates).
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        0..(n * n * 2).max(1),
+    )
+}
+
+fn dense_from(n: usize, trips: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+    let mut d = vec![vec![0.0; n]; n];
+    for &(r, c, v) in trips {
+        d[r][c] += v;
+    }
+    d
+}
+
+proptest! {
+    /// CSR SpMV equals the dense mat-vec built from the same triplets.
+    #[test]
+    fn spmv_matches_dense(
+        trips in triplets(12),
+        x in prop::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let n = 12;
+        let mut coo = Coo::new(n, n);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let d = dense_from(n, &trips);
+        let y = a.mul_vec(&x);
+        for i in 0..n {
+            let expect: f64 = (0..n).map(|j| d[i][j] * x[j]).sum();
+            prop_assert!((y[i] - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Transposing twice is the identity, and (Aᵀ)ᵀ x == A x.
+    #[test]
+    fn transpose_involution(trips in triplets(10), x in prop::collection::vec(-2.0f64..2.0, 10)) {
+        let mut coo = Coo::new(10, 10);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(a.mul_vec(&x), tt.mul_vec(&x));
+    }
+
+    /// xᵀ(Ay) == (Aᵀx)ᵀy for every matrix: the adjoint identity.
+    #[test]
+    fn adjoint_identity(
+        trips in triplets(9),
+        x in prop::collection::vec(-2.0f64..2.0, 9),
+        y in prop::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let mut coo = Coo::new(9, 9);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let lhs = dense::dot(&x, &a.mul_vec(&y));
+        let rhs = dense::dot(&a.transpose().mul_vec(&x), &y);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+    }
+
+    /// MatrixMarket write -> read is the identity on CSR matrices.
+    #[test]
+    fn matrix_market_roundtrip(trips in triplets(8)) {
+        let mut coo = Coo::new(8, 8);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market(&a, &mut buf).unwrap();
+        let b = io::read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        prop_assert_eq!(a.rows(), b.rows());
+        prop_assert_eq!(a.col_indices(), b.col_indices());
+        prop_assert_eq!(a.values(), b.values());
+    }
+
+    /// dot/axpy/norm2 satisfy basic algebraic identities.
+    #[test]
+    fn vector_kernel_identities(
+        x in prop::collection::vec(-3.0f64..3.0, 1..400),
+        alpha in -2.0f64..2.0,
+    ) {
+        let n = x.len();
+        // norm2^2 == dot(x, x)
+        let nrm = dense::norm2(&x);
+        prop_assert!((nrm * nrm - dense::dot(&x, &x)).abs() <= 1e-9 * (nrm * nrm).max(1.0));
+        // axpy(alpha, x, 0) == alpha * x
+        let mut y = vec![0.0; n];
+        dense::axpy(alpha, &x, &mut y);
+        for i in 0..n {
+            prop_assert_eq!(y[i], alpha * x[i]);
+        }
+        // sub(x, x) == 0
+        let mut z = vec![1.0; n];
+        dense::sub(&x, &x, &mut z);
+        prop_assert!(z.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Mini Figure 4: run the simulated H100 streaming kernels at a few
+//! arithmetic intensities and print the roofline crossovers.
+//!
+//! Run with: `cargo run --release --example gpu_roofline`
+
+use frsz2_repro::gpusim::kernels::{ai_series, stream_bandwidth_fraction, StreamFormat};
+use frsz2_repro::gpusim::H100_PCIE;
+
+fn main() {
+    println!(
+        "H100-PCIe model: {:.0} GB/s, {:.1} TFLOP/s fp64 -> {:.0} fp64 ops per loaded f64\n",
+        H100_PCIE.mem_bw / 1e9,
+        H100_PCIE.fp64_flops / 1e12,
+        H100_PCIE.flops_per_f64_loaded()
+    );
+
+    let n = 1 << 18;
+    let ais = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+    println!("GFLOP/s by arithmetic intensity (FLOP per loaded value):");
+    print!("{:<16}", "format");
+    for ai in ais {
+        print!("{ai:>9.0}");
+    }
+    println!();
+    for fmt in StreamFormat::figure4_set() {
+        let series = ai_series(&H100_PCIE, fmt, n, &ais);
+        print!("{:<16}", fmt.label());
+        for p in &series {
+            print!("{:>9.0}", p.gflops);
+        }
+        println!();
+    }
+
+    println!("\nstreaming bandwidth fraction (of 2000 GB/s peak):");
+    for fmt in StreamFormat::figure4_set() {
+        println!(
+            "  {:<16} {:>6.1}%",
+            fmt.label(),
+            stream_bandwidth_fraction(&H100_PCIE, fmt, n) * 100.0
+        );
+    }
+    println!("\npaper anchors: frsz2_32 at 99.6% of bandwidth; frsz2_16 fastest per value");
+    println!("but not 2x float32; frsz2_21 no faster than frsz2_32 (unaligned reads).");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the FRSZ2 / CB-GMRES reproduction workspace.
+//!
+//! Re-exports the public surface of every workspace crate so the examples
+//! and integration tests can reach the whole system through one dependency.
+//!
+//! The individual crates are:
+//! - [`frsz2`] — the FRSZ2 fixed-rate block-floating-point codec (the
+//!   paper's contribution).
+//! - [`numfmt`] — software `binary16`/`bfloat16` plus the Ginkgo-style
+//!   accessor abstraction decoupling storage from arithmetic format.
+//! - [`spla`] — sparse linear algebra: CSR/COO, parallel SpMV, the
+//!   synthetic SuiteSparse analogue suite, dense vector kernels.
+//! - [`lossy`] — SZ-, SZ3- and ZFP-style lossy compressors used as
+//!   comparison baselines (Table II of the paper).
+//! - [`gpusim`] — warp-level GPU execution simulator + H100 roofline cost
+//!   model standing in for the paper's CUDA kernels.
+//! - [`krylov`] — restarted GMRES / CB-GMRES with pluggable Krylov basis
+//!   storage.
+
+pub use frsz2;
+pub use gpusim;
+pub use krylov;
+pub use lossy;
+pub use numfmt;
+pub use spla;

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full pipeline from problem
+//! generation through compressed-basis solves, across every storage
+//! format, on small instances.
+
+use frsz2_repro::frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
+use frsz2_repro::gpusim;
+use frsz2_repro::krylov::{gmres, gmres_with, GmresOptions, Identity, Jacobi};
+use frsz2_repro::lossy::{registry, Compressor, RoundTripStore};
+use frsz2_repro::numfmt::{ColumnStorage, DenseStore, BF16, F16};
+use frsz2_repro::spla::dense::{manufactured_rhs, norm2};
+use frsz2_repro::spla::{gen, suite};
+
+fn small_opts(target: f64) -> GmresOptions {
+    GmresOptions {
+        target_rrn: target,
+        max_iters: 3000,
+        ..GmresOptions::default()
+    }
+}
+
+#[test]
+fn every_storage_format_solves_the_same_system() {
+    let a = gen::conv_diff_3d(10, 10, 10, [0.4, 0.2, 0.1], 0.2);
+    let (x_true, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-10);
+
+    let check = |label: &str, r: frsz2_repro::krylov::SolveResult| {
+        assert!(r.stats.converged, "{label} did not converge: {}", r.stats.final_rrn);
+        let err: f64 = r
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "{label} solution error {err}");
+        r.stats.iterations
+    };
+
+    let base = check("float64", gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity));
+    for (label, iters) in [
+        ("float32", check("float32", gmres::<DenseStore<f32>, _>(&a, &b, &x0, &opts, &Identity))),
+        ("float16", check("float16", gmres::<DenseStore<F16>, _>(&a, &b, &x0, &opts, &Identity))),
+        ("bfloat16", check("bfloat16", gmres::<DenseStore<BF16>, _>(&a, &b, &x0, &opts, &Identity))),
+        ("frsz2_32", check("frsz2_32", gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity))),
+    ] {
+        assert!(
+            iters >= base,
+            "{label} cannot beat the uncompressed basis on iterations here"
+        );
+    }
+}
+
+#[test]
+fn frsz2_variants_order_by_precision() {
+    let a = gen::conv_diff_3d(9, 9, 9, [0.3, 0.1, 0.0], 0.15);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-9);
+    let run = |l: u32| {
+        let cfg = Frsz2Config::new(32, l);
+        let r = gmres_with(&a, &b, &x0, &opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        assert!(r.stats.converged, "frsz2_{l} failed");
+        r.stats.iterations
+    };
+    let (i16_, i32_, i64_) = (run(16), run(32), run(64));
+    assert!(i64_ <= i32_, "more precision cannot need more iterations ({i64_} vs {i32_})");
+    assert!(i32_ <= i16_, "frsz2_32 ({i32_}) must beat frsz2_16 ({i16_})");
+}
+
+#[test]
+fn lossy_roundtrip_basis_converges_for_every_table_two_codec() {
+    let a = gen::conv_diff_3d(8, 8, 8, [0.2, 0.1, 0.0], 0.3);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-6);
+    for info in registry::TABLE_TWO.iter() {
+        let codec = registry::by_name(info.name).unwrap();
+        let r = gmres_with(&a, &b, &x0, &opts, &Identity, |rows, cols| {
+            RoundTripStore::new(codec.clone(), rows, cols)
+        });
+        assert!(
+            r.stats.converged,
+            "{} did not reach 1e-6 (rrn {:.2e})",
+            info.name, r.stats.final_rrn
+        );
+        assert!(
+            r.stats.basis_bits_per_value > 1.0,
+            "{} reported no storage rate",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn simulated_gpu_kernels_agree_with_solver_storage() {
+    // The warp-kernel decompression must agree bit-for-bit with what the
+    // solver's accessor produced from the same compressed column.
+    let n = 640;
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+    let cfg = Frsz2Config::new(32, 32);
+
+    let mut store = Frsz2Store::with_config(cfg, n, 1);
+    store.write_column(0, &data);
+    let mut via_accessor = vec![0.0; n];
+    store.read_column(0, &mut via_accessor);
+
+    let v = Frsz2Vector::compress(cfg, &data);
+    let (via_sim, counters) = gpusim::kernels::frsz2_decompress_sim(cfg, v.words(), v.exponents(), n);
+    for i in 0..n {
+        assert_eq!(via_sim[i].to_bits(), via_accessor[i].to_bits(), "row {i}");
+    }
+    // And the simulated kernel must fit the paper's instruction budget.
+    let ops_per_value = (counters.int + counters.clz) as f64 / n as f64;
+    assert!(ops_per_value < 46.0, "decompression exceeds the §I budget: {ops_per_value}");
+}
+
+#[test]
+fn suite_problems_have_finite_unit_rhs() {
+    for name in suite::names() {
+        let m = suite::build(name, 0.2).unwrap();
+        let (x, b) = manufactured_rhs(&m.matrix);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12, "{name}: solution not unit norm");
+        assert!(b.iter().all(|v| v.is_finite()), "{name}: non-finite rhs");
+        assert!(suite::analogue_target(name).is_some(), "{name}: no analogue target");
+    }
+}
+
+#[test]
+fn preconditioned_solve_reaches_tighter_targets() {
+    // Extension feature: Jacobi preconditioning on a scaled problem.
+    let mut a = gen::conv_diff_3d(8, 8, 8, [0.2, 0.0, 0.0], 0.4);
+    let phi = gen::phi_uncorrelated(a.rows(), 6, 9);
+    gen::apply_similarity_scaling(&mut a, &phi);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-11);
+    let jac = Jacobi::new(&a);
+    let plain = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
+    let pre = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &jac);
+    assert!(pre.stats.converged);
+    assert!(pre.stats.iterations <= plain.stats.iterations.max(1));
+}
+
+#[test]
+fn solver_histories_are_reproducible_across_runs() {
+    let m = suite::build("atmosmodd", 0.2).unwrap();
+    let (_, b) = manufactured_rhs(&m.matrix);
+    let x0 = vec![0.0; m.matrix.rows()];
+    let opts = small_opts(1e-12);
+    let r1 = gmres::<Frsz2Store, _>(&m.matrix, &b, &x0, &opts, &Identity);
+    let r2 = gmres::<Frsz2Store, _>(&m.matrix, &b, &x0, &opts, &Identity);
+    assert_eq!(r1.history.len(), r2.history.len());
+    for (p, q) in r1.history.iter().zip(&r2.history) {
+        assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+    }
+}
+
+#[test]
+fn frsz2_byte_adapter_matches_store_semantics() {
+    let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.41).cos()).collect();
+    let cfg = Frsz2Config::new(32, 21);
+    let adapter = frsz2_repro::lossy::frsz2_adapter::Frsz2Compressor::new(cfg);
+    let via_bytes = adapter.decompress(&adapter.compress(&data), data.len());
+
+    let mut store = Frsz2Store::with_config(cfg, data.len(), 1);
+    store.write_column(0, &data);
+    for (i, v) in via_bytes.iter().enumerate() {
+        assert_eq!(v.to_bits(), store.load(i, 0).to_bits(), "row {i}");
+    }
+}
+
+#[test]
+fn wide_range_flush_behaviour_matches_prediction_end_to_end() {
+    // The PR02R mechanism, end to end: predicted flush fraction from the
+    // error module matches what the codec does inside the store.
+    let n = 2048;
+    let phi = gen::phi_uncorrelated(n, 40, 7);
+    let data: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * 0.73).sin() + 1.1) * f64::powi(2.0, phi[i]))
+        .collect();
+    let cfg = Frsz2Config::new(32, 32);
+    let predicted = frsz2_repro::frsz2::error::predicted_flush_fraction(cfg, &data);
+    let mut store = Frsz2Store::with_config(cfg, n, 1);
+    store.write_column(0, &data);
+    let mut out = vec![0.0; n];
+    store.read_column(0, &mut out);
+    let observed = data
+        .iter()
+        .zip(&out)
+        .filter(|(a, b)| **a != 0.0 && **b == 0.0)
+        .count() as f64
+        / n as f64;
+    assert!(
+        (predicted - observed).abs() < 1e-9,
+        "predicted {predicted} vs observed {observed}"
+    );
+    assert!(observed > 0.05, "the wide-range data must actually flush values");
+}

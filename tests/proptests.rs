@@ -1,0 +1,79 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use frsz2_repro::frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
+use frsz2_repro::gpusim;
+use frsz2_repro::lossy::registry;
+use frsz2_repro::numfmt::ColumnStorage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The simulated GPU decompression kernel and the CPU codec agree
+    /// bit for bit for every supported l on random Krylov-like data.
+    #[test]
+    fn gpu_sim_equals_cpu_codec(
+        l in prop_oneof![Just(16u32), Just(21), Just(32)],
+        blocks in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * 32;
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let cfg = Frsz2Config::new(32, l);
+        let v = Frsz2Vector::compress(cfg, &data);
+        let (sim, _) = gpusim::kernels::frsz2_decompress_sim(cfg, v.words(), v.exponents(), n);
+        let cpu = v.decompress();
+        for i in 0..n {
+            prop_assert_eq!(sim[i].to_bits(), cpu[i].to_bits(), "row {}", i);
+        }
+    }
+
+    /// Simulated compression produces the same stream the CPU does.
+    #[test]
+    fn gpu_sim_compression_equals_cpu(
+        l in prop_oneof![Just(16u32), Just(21), Just(32)],
+        data in prop::collection::vec(-2.0f64..2.0, 32..129),
+    ) {
+        let n = (data.len() / 32) * 32;
+        let data = &data[..n];
+        let cfg = Frsz2Config::new(32, l);
+        let v = Frsz2Vector::compress(cfg, data);
+        let (words, exps, _) = gpusim::kernels::frsz2_compress_sim(cfg, data);
+        prop_assert_eq!(&words, v.words());
+        prop_assert_eq!(&exps, v.exponents());
+    }
+
+    /// Every registered codec round-trips arbitrary finite data within
+    /// its advertised bound class (absolute bounds checked directly).
+    #[test]
+    fn registry_codecs_respect_absolute_bounds(
+        data in prop::collection::vec(-1.0f64..1.0, 1..300),
+    ) {
+        for (name, bound) in [("sz3_06", 1e-6), ("sz3_07", 1e-7), ("sz3_08", 1e-8),
+                              ("zfp_06", 1.4e-6), ("zfp_10", 4.0e-10)] {
+            let c = registry::by_name(name).unwrap();
+            let out = c.decompress(&c.compress(&data), data.len());
+            for (i, (a, b)) in data.iter().zip(&out).enumerate() {
+                prop_assert!((a - b).abs() <= bound, "{}: i={} err {}", name, i, (a - b).abs());
+            }
+        }
+    }
+
+    /// Writing a column through the FRSZ2 store and through the plain
+    /// codec is the same operation.
+    #[test]
+    fn store_and_codec_are_consistent(
+        data in prop::collection::vec(-10.0f64..10.0, 1..200),
+        l in prop_oneof![Just(16u32), Just(21), Just(32), Just(48)],
+    ) {
+        let cfg = Frsz2Config::new(32, l);
+        let mut store = Frsz2Store::with_config(cfg, data.len(), 1);
+        store.write_column(0, &data);
+        let v = Frsz2Vector::compress(cfg, &data);
+        for i in 0..data.len() {
+            prop_assert_eq!(store.load(i, 0).to_bits(), v.get(i).to_bits(), "i = {}", i);
+        }
+    }
+}
