@@ -42,7 +42,16 @@ fn main() {
     }
     println!();
     print_table(
-        &["matrix", "n", "format", "iters", "conv", "final_rrn", "target", "time"],
+        &[
+            "matrix",
+            "n",
+            "format",
+            "iters",
+            "conv",
+            "final_rrn",
+            "target",
+            "time",
+        ],
         &rows,
     );
 }

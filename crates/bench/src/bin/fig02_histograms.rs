@@ -35,9 +35,21 @@ fn main() {
         let csv_rows: Vec<Vec<String>> = snap
             .exponent_histogram
             .iter()
-            .map(|&(e, c)| vec![label.into(), "exponent".into(), e.to_string(), c.to_string()])
+            .map(|&(e, c)| {
+                vec![
+                    label.into(),
+                    "exponent".into(),
+                    e.to_string(),
+                    c.to_string(),
+                ]
+            })
             .chain(snap.value_histogram.iter().map(|&(v, c)| {
-                vec![label.into(), "value".into(), format!("{v:.6e}"), c.to_string()]
+                vec![
+                    label.into(),
+                    "value".into(),
+                    format!("{v:.6e}"),
+                    c.to_string(),
+                ]
             }))
             .collect();
         let path = write_csv(

@@ -72,7 +72,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["format", "achieved GB/s", "% of peak", "decode ops/value", "bottleneck"],
+        &[
+            "format",
+            "achieved GB/s",
+            "% of peak",
+            "decode ops/value",
+            "bottleneck",
+        ],
         &brows,
     );
     let z32 = stream_bandwidth_fraction(&H100_PCIE, StreamFormat::Frsz2(32), n);

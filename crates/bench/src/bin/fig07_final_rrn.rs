@@ -28,7 +28,11 @@ fn main() {
                 "  {name} {}: rrn {:.2e} ({})",
                 spec.name(),
                 r.stats.final_rrn,
-                if r.stats.converged { "ok" } else { "MISSED TARGET" }
+                if r.stats.converged {
+                    "ok"
+                } else {
+                    "MISSED TARGET"
+                }
             );
             rows.push(vec![
                 name.to_string(),
@@ -47,7 +51,10 @@ fn main() {
         }
     }
     println!("\n=== Fig. 7: final relative residual norms ===");
-    print_table(&["matrix", "format", "target", "final_rrn", "reached"], &rows);
+    print_table(
+        &["matrix", "format", "target", "final_rrn", "reached"],
+        &rows,
+    );
     let path = write_csv(
         "fig07_final_rrn",
         &["matrix", "format", "target", "final_rrn", "converged"],

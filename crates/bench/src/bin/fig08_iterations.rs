@@ -28,7 +28,11 @@ fn main() {
                 "  {name} {}: {} iterations ({})",
                 spec.name(),
                 r.stats.iterations,
-                if r.stats.converged { "ok" } else { "no convergence" }
+                if r.stats.converged {
+                    "ok"
+                } else {
+                    "no convergence"
+                }
             );
             if spec.name() == "float64" {
                 f64_iters = Some(r.stats.iterations);
@@ -58,7 +62,13 @@ fn main() {
     );
     let path = write_csv(
         "fig08_iterations",
-        &["matrix", "format", "relative_iterations", "iterations", "converged"],
+        &[
+            "matrix",
+            "format",
+            "relative_iterations",
+            "iterations",
+            "converged",
+        ],
         &csv,
     )
     .expect("write csv");

@@ -61,7 +61,11 @@ fn main() {
             // "The entire bar is removed ... if a storage format does not
             // reach the targeted relative residual norm."
             let (h100_speedup, wall_speedup, wall_err) = if converged {
-                (f64_h100 / h100, f64_mean / w_mean, w_std * f64_mean / (w_mean * w_mean))
+                (
+                    f64_h100 / h100,
+                    f64_mean / w_mean,
+                    w_std * f64_mean / (w_mean * w_mean),
+                )
             } else {
                 (0.0, 0.0, 0.0)
             };
@@ -72,7 +76,11 @@ fn main() {
             rows.push(vec![
                 name.to_string(),
                 spec.name(),
-                if converged { format!("{h100_speedup:.2}") } else { "-".into() },
+                if converged {
+                    format!("{h100_speedup:.2}")
+                } else {
+                    "-".into()
+                },
                 if converged {
                     format!("{wall_speedup:.2} ± {wall_err:.2}")
                 } else {
@@ -93,14 +101,29 @@ fn main() {
         }
     }
 
-    println!("\n=== Fig. 11: speedup relative to float64 (runs = {}) ===", cli.runs);
+    println!(
+        "\n=== Fig. 11: speedup relative to float64 (runs = {}) ===",
+        cli.runs
+    );
     print_table(
-        &["matrix", "format", "modeled-H100 speedup", "CPU-wall speedup"],
+        &[
+            "matrix",
+            "format",
+            "modeled-H100 speedup",
+            "CPU-wall speedup",
+        ],
         &rows,
     );
     let path = write_csv(
         "fig11_speedup",
-        &["matrix", "format", "h100_speedup", "wall_speedup", "wall_std", "converged"],
+        &[
+            "matrix",
+            "format",
+            "h100_speedup",
+            "wall_speedup",
+            "wall_std",
+            "converged",
+        ],
         &csv,
     )
     .expect("write csv");

@@ -25,7 +25,10 @@ fn main() {
             format!("2^{lo}..2^{hi}"),
         ]);
     }
-    println!("=== Table I: paper metadata vs synthetic analogues (scale {}) ===", cli.scale);
+    println!(
+        "=== Table I: paper metadata vs synthetic analogues (scale {}) ===",
+        cli.scale
+    );
     print_table(
         &[
             "matrix",

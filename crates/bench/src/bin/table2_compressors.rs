@@ -9,9 +9,7 @@ fn main() {
     // A Krylov-vector-like probe: unit-norm, uncorrelated mantissas,
     // clustered exponents.
     let n = 32 * 1024;
-    let mut probe: Vec<f64> = (0..n)
-        .map(|i| ((i as f64) * 0.618_033_988).sin())
-        .collect();
+    let mut probe: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.618_033_988).sin()).collect();
     let nrm = (probe.iter().map(|v| v * v).sum::<f64>()).sqrt();
     probe.iter_mut().for_each(|v| *v /= nrm);
 
@@ -53,7 +51,13 @@ fn main() {
 
     println!("=== Table II: compressor configurations (measured on a Krylov-like vector) ===");
     print_table(
-        &["name", "bound type", "requested bound", "achieved bits/value", "max |err|"],
+        &[
+            "name",
+            "bound type",
+            "requested bound",
+            "achieved bits/value",
+            "max |err|",
+        ],
         &rows,
     );
 }

@@ -19,7 +19,10 @@ pub enum FormatSpec {
     F32,
     F16,
     BF16,
-    Frsz2 { block_size: u32, bits: u32 },
+    Frsz2 {
+        block_size: u32,
+        bits: u32,
+    },
     /// Table II codec round-trip (by registry name).
     Lossy(String),
 }
@@ -79,7 +82,13 @@ pub fn standard_formats() -> Vec<FormatSpec> {
 
 /// Solve `A x = b` from `x0` with the Krylov basis held in `spec`
 /// (unpreconditioned, as in §V-C).
-pub fn solve(a: &Csr, b: &[f64], x0: &[f64], opts: &GmresOptions, spec: &FormatSpec) -> SolveResult {
+pub fn solve(
+    a: &Csr,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    spec: &FormatSpec,
+) -> SolveResult {
     match spec {
         FormatSpec::F64 => gmres::<DenseStore<f64>, _>(a, b, x0, opts, &Identity),
         FormatSpec::F32 => gmres::<DenseStore<f32>, _>(a, b, x0, opts, &Identity),
@@ -92,8 +101,8 @@ pub fn solve(a: &Csr, b: &[f64], x0: &[f64], opts: &GmresOptions, spec: &FormatS
             })
         }
         FormatSpec::Lossy(name) => {
-            let codec = lossy::registry::by_name(name)
-                .unwrap_or_else(|| panic!("unknown codec {name}"));
+            let codec =
+                lossy::registry::by_name(name).unwrap_or_else(|| panic!("unknown codec {name}"));
             gmres_with(a, b, x0, opts, &Identity, |r, c| {
                 RoundTripStore::new(codec, r, c)
             })
@@ -111,7 +120,10 @@ mod tests {
         assert!(matches!(parse("float16"), Some(FormatSpec::F16)));
         assert!(matches!(
             parse("frsz2_32"),
-            Some(FormatSpec::Frsz2 { block_size: 32, bits: 32 })
+            Some(FormatSpec::Frsz2 {
+                block_size: 32,
+                bits: 32
+            })
         ));
         assert!(matches!(
             parse("frsz2_21"),
@@ -150,6 +162,10 @@ mod tests {
             ..GmresOptions::default()
         };
         let r = solve(&a, &b, &x0, &opts, &parse("zfp_fr_32").unwrap());
-        assert!(r.stats.converged, "zfp_fr_32 should converge, rrn {}", r.stats.final_rrn);
+        assert!(
+            r.stats.converged,
+            "zfp_fr_32 should converge, rrn {}",
+            r.stats.final_rrn
+        );
     }
 }

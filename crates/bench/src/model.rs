@@ -103,11 +103,20 @@ mod tests {
         };
         let f64t = t(&FormatSpec::F64, 64);
         let f32t = t(&FormatSpec::F32, 32);
-        let z32t = t(&FormatSpec::Frsz2 { block_size: 32, bits: 32 }, 33);
+        let z32t = t(
+            &FormatSpec::Frsz2 {
+                block_size: 32,
+                bits: 32,
+            },
+            33,
+        );
         assert!(f32t < f64t, "float32 must beat float64");
         assert!(z32t < f64t, "frsz2_32 must beat float64");
         // frsz2_32 within a few percent of float32 (33 vs 32 bits).
-        assert!((z32t - f32t).abs() / f32t < 0.1, "frsz2_32 ~ float32: {z32t} vs {f32t}");
+        assert!(
+            (z32t - f32t).abs() / f32t < 0.1,
+            "frsz2_32 ~ float32: {z32t} vs {f32t}"
+        );
     }
 
     #[test]
@@ -123,7 +132,10 @@ mod tests {
         };
         let f64t = h100_time(&FormatSpec::F64, &mk(400, 64), n, spmv_bytes);
         let z32t = h100_time(
-            &FormatSpec::Frsz2 { block_size: 32, bits: 32 },
+            &FormatSpec::Frsz2 {
+                block_size: 32,
+                bits: 32,
+            },
             &mk(1400, 33),
             n,
             spmv_bytes,

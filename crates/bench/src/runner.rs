@@ -91,16 +91,16 @@ pub struct Problem {
 pub fn prepare(name: &str, cli: &Cli) -> Problem {
     let (matrix, target_rrn) = match &cli.mtx {
         Some(path) => {
-            let file = std::fs::File::open(path)
-                .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            let file =
+                std::fs::File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
             let coo = spla::io::read_matrix_market(std::io::BufReader::new(file))
                 .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
             let t = suite::entry(name).map(|e| e.target_rrn).unwrap_or(1e-10);
             (coo.to_csr(), t)
         }
         None => {
-            let SuiteMatrix { entry, matrix } = suite::build(name, cli.scale)
-                .unwrap_or_else(|| panic!("unknown matrix {name}"));
+            let SuiteMatrix { entry, matrix } =
+                suite::build(name, cli.scale).unwrap_or_else(|| panic!("unknown matrix {name}"));
             // Synthetic analogues use the §V-C-calibrated analogue target;
             // real .mtx inputs use the paper's Table I value.
             let t = suite::analogue_target(name).unwrap_or(entry.target_rrn);
@@ -148,7 +148,9 @@ pub fn convergence_histories(
             let r = solve_problem(p, opts, &spec);
             eprintln!(
                 "  {name}: iters={} converged={} final_rrn={:.2e} bits/value={:.1}",
-                r.stats.iterations, r.stats.converged, r.stats.final_rrn,
+                r.stats.iterations,
+                r.stats.converged,
+                r.stats.final_rrn,
                 r.stats.basis_bits_per_value,
             );
             (name.to_string(), r)
@@ -184,7 +186,13 @@ pub fn report_histories(csv_name: &str, runs: &[(String, SolveResult)]) {
         })
         .collect();
     crate::report::print_table(
-        &["format", "iterations", "converged", "final_rrn", "bits/value"],
+        &[
+            "format",
+            "iterations",
+            "converged",
+            "final_rrn",
+            "bits/value",
+        ],
         &summary,
     );
     println!("(history csv: {path})");

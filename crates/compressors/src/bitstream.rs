@@ -44,7 +44,12 @@ impl BitWriter {
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.buf.len() * 8 - if self.used == 0 { 0 } else { (8 - self.used) as usize }
+        self.buf.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
     }
 
     /// Finish and return the byte buffer (trailing bits zero-padded).

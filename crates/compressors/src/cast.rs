@@ -45,8 +45,10 @@ impl Compressor for CastF16 {
     fn decompress(&self, bytes: &[u8], n: usize) -> Vec<f64> {
         (0..n)
             .map(|i| {
-                F16::from_bits(u16::from_le_bytes(bytes[i * 2..i * 2 + 2].try_into().unwrap()))
-                    .to_f64()
+                F16::from_bits(u16::from_le_bytes(
+                    bytes[i * 2..i * 2 + 2].try_into().unwrap(),
+                ))
+                .to_f64()
             })
             .collect()
     }

@@ -48,7 +48,9 @@ impl Compressor for Frsz2Compressor {
         let mut exps = Vec::with_capacity(blocks);
         let mut words = Vec::with_capacity(words_len);
         for i in 0..blocks {
-            exps.push(u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap()));
+            exps.push(u32::from_le_bytes(
+                bytes[i * 4..i * 4 + 4].try_into().unwrap(),
+            ));
         }
         let base = blocks * 4;
         for i in 0..words_len {

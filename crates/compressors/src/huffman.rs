@@ -22,10 +22,7 @@ fn code_lengths(freqs: &HashMap<u32, u64>) -> HashMap<u32, u32> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse for a min-heap; tie-break on id for determinism.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -113,8 +110,7 @@ pub fn encode(symbols: &[u32], w: &mut BitWriter) {
     // Payload: symbol count then the codes (canonical codes are written
     // MSB-first so prefix decoding works on the LSB-first stream).
     w.write_bits(symbols.len() as u64, 40);
-    let table: HashMap<u32, (u32, u64)> =
-        codes.iter().map(|&(s, l, c)| (s, (l, c))).collect();
+    let table: HashMap<u32, (u32, u64)> = codes.iter().map(|&(s, l, c)| (s, (l, c))).collect();
     for &s in symbols {
         let (l, c) = table[&s];
         for b in (0..l).rev() {
@@ -211,12 +207,17 @@ mod tests {
     #[test]
     fn skewed_distribution_compresses_well() {
         // 95% zeros: entropy ~0.3 bits/symbol; Huffman gets ~1 bit.
-        let data: Vec<u32> = (0..20_000).map(|i| if i % 20 == 0 { i as u32 % 7 + 1 } else { 0 }).collect();
+        let data: Vec<u32> = (0..20_000)
+            .map(|i| if i % 20 == 0 { i as u32 % 7 + 1 } else { 0 })
+            .collect();
         let mut w = BitWriter::new();
         encode(&data, &mut w);
         let bits = w.bit_len();
         let bpv = bits as f64 / data.len() as f64;
-        assert!(bpv < 2.0, "expected < 2 bits/symbol on skewed data, got {bpv}");
+        assert!(
+            bpv < 2.0,
+            "expected < 2 bits/symbol on skewed data, got {bpv}"
+        );
         // And it still round-trips.
         let bytes = w.into_bytes();
         assert_eq!(decode(&mut BitReader::new(&bytes)), data);

@@ -129,7 +129,7 @@ mod tests {
                 if i % 97 == 0 {
                     0.0
                 } else {
-                    let mag = f64::powi(10.0, (i % 31) as i32 - 15);
+                    let mag = f64::powi(10.0, (i % 31) - 15);
                     let v = ((i as f64 * 0.73).sin() + 1.5) * mag;
                     if i % 2 == 0 {
                         v

@@ -32,15 +32,51 @@ pub struct ConfigInfo {
 
 /// Table II of the paper, verbatim.
 pub const TABLE_TWO: [ConfigInfo; 9] = [
-    ConfigInfo { name: "sz3_06", bound_type: "absolute", bound: "1e-06" },
-    ConfigInfo { name: "sz3_07", bound_type: "absolute", bound: "1e-07" },
-    ConfigInfo { name: "sz3_08", bound_type: "absolute", bound: "1e-08" },
-    ConfigInfo { name: "zfp_06", bound_type: "absolute", bound: "1.4e-06" },
-    ConfigInfo { name: "zfp_10", bound_type: "absolute", bound: "4.0e-10" },
-    ConfigInfo { name: "sz_pwrel_04", bound_type: "relative", bound: "1e-04" },
-    ConfigInfo { name: "sz3_pwrel_04", bound_type: "relative", bound: "1e-04" },
-    ConfigInfo { name: "zfp_fr_16", bound_type: "fixed rate", bound: "16 bits" },
-    ConfigInfo { name: "zfp_fr_32", bound_type: "fixed rate", bound: "32 bits" },
+    ConfigInfo {
+        name: "sz3_06",
+        bound_type: "absolute",
+        bound: "1e-06",
+    },
+    ConfigInfo {
+        name: "sz3_07",
+        bound_type: "absolute",
+        bound: "1e-07",
+    },
+    ConfigInfo {
+        name: "sz3_08",
+        bound_type: "absolute",
+        bound: "1e-08",
+    },
+    ConfigInfo {
+        name: "zfp_06",
+        bound_type: "absolute",
+        bound: "1.4e-06",
+    },
+    ConfigInfo {
+        name: "zfp_10",
+        bound_type: "absolute",
+        bound: "4.0e-10",
+    },
+    ConfigInfo {
+        name: "sz_pwrel_04",
+        bound_type: "relative",
+        bound: "1e-04",
+    },
+    ConfigInfo {
+        name: "sz3_pwrel_04",
+        bound_type: "relative",
+        bound: "1e-04",
+    },
+    ConfigInfo {
+        name: "zfp_fr_16",
+        bound_type: "fixed rate",
+        bound: "16 bits",
+    },
+    ConfigInfo {
+        name: "zfp_fr_32",
+        bound_type: "fixed rate",
+        bound: "32 bits",
+    },
 ];
 
 /// Instantiate a codec by its Table II name (plus the `sz_0X` absolute

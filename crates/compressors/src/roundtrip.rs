@@ -117,7 +117,10 @@ mod tests {
         for (a, b) in v.iter().zip(&out) {
             max_err = max_err.max((a - b).abs());
         }
-        assert!(max_err > 0.0, "the round trip must actually lose information");
+        assert!(
+            max_err > 0.0,
+            "the round trip must actually lose information"
+        );
         assert!(max_err <= 1e-6, "but stay inside the codec bound");
     }
 

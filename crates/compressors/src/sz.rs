@@ -114,7 +114,10 @@ mod tests {
         // Slowly varying signal: Lorenzo prediction nails it.
         let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 1e-3).sin()).collect();
         let bpv = check_bound(&data, 1e-6);
-        assert!(bpv < 16.0, "smooth data should compress below 16 bits/value, got {bpv}");
+        assert!(
+            bpv < 16.0,
+            "smooth data should compress below 16 bits/value, got {bpv}"
+        );
     }
 
     #[test]

@@ -156,7 +156,10 @@ mod tests {
                 assert!(!seen[i], "index {i} visited twice (n={n})");
                 assert!(seen[l], "left neighbour {l} of {i} not yet decoded (n={n})");
                 if let Some(ri) = r {
-                    assert!(seen[ri], "right neighbour {ri} of {i} not yet decoded (n={n})");
+                    assert!(
+                        seen[ri],
+                        "right neighbour {ri} of {i} not yet decoded (n={n})"
+                    );
                 }
                 seen[i] = true;
             }

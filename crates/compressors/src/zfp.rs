@@ -439,7 +439,11 @@ mod tests {
         let c = ZfpCompressor::new(ZfpMode::FixedAccuracy(1e-9));
         let bytes = c.compress(&data);
         // 999 zero blocks cost 1 bit each.
-        assert!(bytes.len() < 200, "zero blocks should be ~1 bit, got {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 200,
+            "zero blocks should be ~1 bit, got {} bytes",
+            bytes.len()
+        );
         let out = c.decompress(&bytes, data.len());
         assert!((out[0] - 1.0).abs() <= 1e-9);
         assert!(out[1..].iter().all(|&v| v == 0.0));

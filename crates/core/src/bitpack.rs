@@ -17,7 +17,10 @@
 #[inline]
 pub fn write_bits(words: &mut [u32], bit_offset: usize, width: u32, value: u64) {
     debug_assert!((1..=64).contains(&width));
-    debug_assert!(width == 64 || value < (1u64 << width), "value wider than field");
+    debug_assert!(
+        width == 64 || value < (1u64 << width),
+        "value wider than field"
+    );
     let mut word = bit_offset / 32;
     let mut shift = (bit_offset % 32) as u32;
     let mut remaining = width;
@@ -67,7 +70,7 @@ pub fn read_bits(words: &[u32], bit_offset: usize, width: u32) -> u64 {
 /// Number of `u32` words needed to hold `count` fields of `width` bits.
 #[inline]
 pub fn words_for(count: usize, width: u32) -> usize {
-    (count * width as usize + 31) / 32
+    (count * width as usize).div_ceil(32)
 }
 
 #[cfg(test)]

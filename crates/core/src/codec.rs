@@ -164,7 +164,11 @@ fn encode_bits(bits: u64, emax: u32, l: u32, nearest: bool) -> u64 {
     let e = ((bits >> 52) & 0x7FF) as u32;
     let sign = bits >> 63;
     let m = bits & MASK52;
-    let (e_eff, sig) = if e == 0 { (1, m) } else { (e, m | (1u64 << 52)) };
+    let (e_eff, sig) = if e == 0 {
+        (1, m)
+    } else {
+        (e, m | (1u64 << 52))
+    };
     let shift = (emax - e_eff) as i32 + 54 - l as i32;
     let mut field = shift_signed(sig, shift);
     if nearest && shift > 0 && shift < 64 {
@@ -293,8 +297,14 @@ pub fn decompress_range(
     let bs = cfg.block_size as usize;
     let l = cfg.bits;
     let wpb = cfg.words_per_block();
-    assert!(row_start % bs == 0, "row_start must be block-aligned");
-    assert!(row_start + out.len() <= len, "range beyond compressed length");
+    assert!(
+        row_start.is_multiple_of(bs),
+        "row_start must be block-aligned"
+    );
+    assert!(
+        row_start + out.len() <= len,
+        "range beyond compressed length"
+    );
 
     let first_block = row_start / bs;
     for (ob, chunk) in out.chunks_mut(bs).enumerate() {
@@ -487,7 +497,7 @@ mod tests {
         v.decompress_range(96, &mut range);
         assert_eq!(&full[96..160], &range[..]);
         // Partial trailing reads work too.
-        let mut tail = vec![0.0; 16];
+        let mut tail = [0.0; 16];
         v.decompress_range(224, &mut tail[..]);
         assert_eq!(&full[224..240], &tail[..]);
     }
@@ -544,7 +554,7 @@ mod tests {
     #[test]
     fn error_bound_holds_per_block() {
         let data: Vec<f64> = (0..640)
-            .map(|i| ((i as f64) * 0.713).sin() * f64::powi(10.0, (i % 7) as i32 - 3))
+            .map(|i| ((i as f64) * 0.713).sin() * f64::powi(10.0, (i % 7) - 3))
             .collect();
         for l in [16u32, 21, 32] {
             let v = Frsz2Vector::compress(Frsz2Config::new(32, l), &data);
@@ -581,7 +591,7 @@ mod tests {
         // Smaller blocks have tighter emax, so per-value error can only
         // shrink; checks the BS quality/throughput trade-off direction.
         let data: Vec<f64> = (0..256)
-            .map(|i| ((i as f64) * 0.917).cos() * f64::powi(2.0, (i % 13) as i32 - 6))
+            .map(|i| ((i as f64) * 0.917).cos() * f64::powi(2.0, (i % 13) - 6))
             .collect();
         let err = |bs: u32| -> f64 {
             let v = Frsz2Vector::compress(Frsz2Config::new(bs, 32), &data);
@@ -590,7 +600,10 @@ mod tests {
         };
         let (e8, e32, e128) = (err(8), err(32), err(128));
         assert!(e8 <= e32 + 1e-300, "BS=8 ({e8}) worse than BS=32 ({e32})");
-        assert!(e32 <= e128 + 1e-300, "BS=32 ({e32}) worse than BS=128 ({e128})");
+        assert!(
+            e32 <= e128 + 1e-300,
+            "BS=32 ({e32}) worse than BS=128 ({e128})"
+        );
     }
 
     #[test]

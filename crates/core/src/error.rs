@@ -154,7 +154,11 @@ mod tests {
         for (b, chunk) in data.chunks(32).enumerate() {
             let bound = block_error_bound(cfg, chunk);
             let stats = error_stats(chunk, &dec[b * 32..(b * 32 + chunk.len()).min(96)]);
-            assert!(stats.max_abs < bound, "block {b}: {} >= {bound}", stats.max_abs);
+            assert!(
+                stats.max_abs < bound,
+                "block {b}: {} >= {bound}",
+                stats.max_abs
+            );
         }
     }
 
@@ -169,7 +173,10 @@ mod tests {
         let mut data = vec![1.0; 32];
         data[7] = f64::powi(2.0, -40);
         assert!(predicted_flush_fraction(Frsz2Config::new(32, 32), &data) > 0.0);
-        assert_eq!(predicted_flush_fraction(Frsz2Config::new(32, 64), &data), 0.0);
+        assert_eq!(
+            predicted_flush_fraction(Frsz2Config::new(32, 64), &data),
+            0.0
+        );
 
         // The prediction matches what the codec actually does.
         let v = Frsz2Vector::compress(Frsz2Config::new(32, 32), &data);

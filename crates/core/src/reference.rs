@@ -37,7 +37,11 @@ pub fn explicit_significand(v: f64) -> u64 {
 /// Maximum effective exponent of a block (step 1). An empty block reports
 /// 1, the exponent of zero.
 pub fn block_emax(values: &[f64]) -> u32 {
-    values.iter().map(|&v| effective_exponent(v)).max().unwrap_or(1)
+    values
+        .iter()
+        .map(|&v| effective_exponent(v))
+        .max()
+        .unwrap_or(1)
 }
 
 /// Compress one finite value against a block exponent `emax` into an
@@ -114,7 +118,10 @@ pub fn compress_block(values: &[f64], l: u32, truncate: bool) -> (u32, Vec<u64>)
 
 /// Decompress a whole block.
 pub fn decompress_block(emax: u32, codes: &[u64], l: u32) -> Vec<f64> {
-    codes.iter().map(|&c| decompress_value(c, emax, l)).collect()
+    codes
+        .iter()
+        .map(|&c| decompress_value(c, emax, l))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +147,7 @@ mod tests {
         let l = 8;
         let (emax, codes) = compress_block(&block, l, true);
         assert_eq!(emax, 1023); // 2^0 dominates the block
-        // c0: sign 0, field = 1.100000 -> 0b0_1100000
+                                // c0: sign 0, field = 1.100000 -> 0b0_1100000
         assert_eq!(codes[0], 0b0110_0000);
         // c1: sign 1, field = 0.011000 (k = 2 inserted zeros) -> 0b1_0011000
         assert_eq!(codes[1], 0b1001_1000);
@@ -179,10 +186,7 @@ mod tests {
             let ulp = f64::powi(2.0, emax as i32 - 1023 - (l as i32 - 2));
             for (i, (&a, &b)) in block.iter().zip(&out).enumerate() {
                 let err = (a - b).abs();
-                assert!(
-                    err < ulp,
-                    "l={l} i={i}: |{a} - {b}| = {err} >= ulp {ulp}"
-                );
+                assert!(err < ulp, "l={l} i={i}: |{a} - {b}| = {err} >= ulp {ulp}");
                 // Truncation moves toward zero, never away.
                 assert!(b.abs() <= a.abs(), "l={l} i={i}: magnitude grew");
             }
@@ -199,7 +203,10 @@ mod tests {
             let n = decompress_block(emax, &nc, l);
             let terr: f64 = block.iter().zip(&t).map(|(a, b)| (a - b).abs()).sum();
             let nerr: f64 = block.iter().zip(&n).map(|(a, b)| (a - b).abs()).sum();
-            assert!(nerr <= terr, "l={l}: nearest {nerr} worse than truncate {terr}");
+            assert!(
+                nerr <= terr,
+                "l={l}: nearest {nerr} worse than truncate {terr}"
+            );
         }
     }
 
@@ -212,7 +219,10 @@ mod tests {
         let (emax, codes) = compress_block(&[big, tiny], 32, true);
         let out = decompress_block(emax, &codes, 32);
         assert_eq!(out[0], 1.0);
-        assert_eq!(out[1], 0.0, "value below the block window must flush to zero");
+        assert_eq!(
+            out[1], 0.0,
+            "value below the block window must flush to zero"
+        );
     }
 
     #[test]

@@ -240,19 +240,25 @@ mod tests {
         // Chunked read in block-aligned pieces.
         st.read_chunk(1, 0, &mut out[..64]);
         st.read_chunk(1, 64, &mut out[64..]);
-        for i in 0..90 {
-            assert_eq!(st.load(i, 1).to_bits(), out[i].to_bits(), "row {i}");
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(st.load(i, 1).to_bits(), o.to_bits(), "row {i}");
         }
     }
 
     #[test]
     fn reported_rate_matches_eq3() {
         let st = Frsz2Store::with_shape(3200, 1);
-        assert!((st.bits_per_value() - 33.0).abs() < 1e-12, "frsz2_32 is 33 bits/value");
+        assert!(
+            (st.bits_per_value() - 33.0).abs() < 1e-12,
+            "frsz2_32 is 33 bits/value"
+        );
         assert_eq!(st.chunk_align(), 32);
         assert_eq!(st.format_name(), "frsz2_32");
         let st16 = Frsz2Store::with_config(Frsz2Config::new(32, 16), 3200, 1);
-        assert!((st16.bits_per_value() - 17.0).abs() < 1e-12, "frsz2_16 is 17 bits/value");
+        assert!(
+            (st16.bits_per_value() - 17.0).abs() < 1e-12,
+            "frsz2_16 is 17 bits/value"
+        );
     }
 
     #[test]
@@ -261,8 +267,8 @@ mod tests {
         st.write_column(0, &wave(64, 0.0));
         let v2 = wave(64, 2.0);
         st.write_column(0, &v2);
-        for i in 0..64 {
-            assert!((st.load(i, 0) - v2[i]).abs() < 1e-8);
+        for (i, v) in v2.iter().enumerate() {
+            assert!((st.load(i, 0) - v).abs() < 1e-8);
         }
     }
 }

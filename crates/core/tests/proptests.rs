@@ -25,6 +25,21 @@ fn value_strategy() -> impl Strategy<Value = f64> {
     ]
 }
 
+/// `2^e` across the whole f64 range, subnormals included (the codec's
+/// `exp2i` is private, so the tests carry their own copy of the
+/// bit-level construction).
+fn exp2_wide(e: i32) -> f64 {
+    if e >= 1024 {
+        f64::INFINITY
+    } else if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e >= -1074 {
+        f64::from_bits(1u64 << (e + 1074))
+    } else {
+        0.0
+    }
+}
+
 fn config_strategy() -> impl Strategy<Value = Frsz2Config> {
     (
         prop_oneof![Just(1u32), Just(4), Just(8), Just(16), Just(32), Just(64)],
@@ -105,8 +120,8 @@ proptest! {
         let v = Frsz2Vector::compress(cfg, &data);
         let full = v.decompress();
         // Random access.
-        for i in 0..data.len() {
-            prop_assert_eq!(v.get(i).to_bits(), full[i].to_bits(), "get({})", i);
+        for (i, f) in full.iter().enumerate() {
+            prop_assert_eq!(v.get(i).to_bits(), f.to_bits(), "get({})", i);
         }
         // Block-aligned two-piece chunked read.
         let bs = cfg.block_size();
@@ -145,6 +160,71 @@ proptest! {
                 prop_assert_eq!(out[i].to_bits(), data[i].to_bits(), "i={}", i);
             }
         }
+    }
+
+    /// The reference codec and the optimized codec agree bit-for-bit for
+    /// every bit length the paper discusses — the word-aligned fast
+    /// paths (l ∈ {8, 16, 32, 64}) and the bit-packed non-word-aligned
+    /// path (l ∈ {4, 21}, covering the paper's `frsz2_21`) — across
+    /// block sizes, partial trailing blocks included.
+    #[test]
+    fn paper_bit_lengths_match_reference(
+        l in prop_oneof![Just(4u32), Just(8), Just(16), Just(21), Just(32), Just(64)],
+        bs in prop_oneof![Just(1u32), Just(4), Just(8), Just(16), Just(32), Just(64)],
+        data in prop::collection::vec(value_strategy(), 1..200),
+    ) {
+        let cfg = Frsz2Config::new(bs, l);
+        let v = Frsz2Vector::compress(cfg, &data);
+        let out = v.decompress();
+        for (b, chunk) in data.chunks(bs as usize).enumerate() {
+            let (emax, codes) = reference::compress_block(chunk, l, true);
+            prop_assert_eq!(v.exponents()[b], emax, "l={} bs={} block {} emax", l, bs, b);
+            let expect = reference::decompress_block(emax, &codes, l);
+            for (i, &x) in expect.iter().enumerate() {
+                let idx = b * bs as usize + i;
+                prop_assert_eq!(
+                    out[idx].to_bits(), x.to_bits(),
+                    "l={} bs={} value {}", l, bs, idx
+                );
+                // Random access must take the same path-specific decode.
+                prop_assert_eq!(
+                    v.get(idx).to_bits(), x.to_bits(),
+                    "l={} bs={} get({})", l, bs, idx
+                );
+            }
+        }
+    }
+
+    /// The paper's worst-case absolute error bound, written out
+    /// explicitly: `|x − decode(encode(x))| < 2^(emax − 1023 − (l − 2))`
+    /// with `emax` recomputed from the raw block, and
+    /// `Frsz2Config::storage_bytes` equal to Eq. 3 written out term by
+    /// term: `⌈n/BS⌉ · ⌈BS·l/32⌉ · 4 + ⌈n/BS⌉ · 4`.
+    #[test]
+    fn explicit_error_bound_and_eq3(
+        cfg in config_strategy(),
+        data in prop::collection::vec(value_strategy(), 1..200),
+    ) {
+        let (bs, l) = (cfg.block_size(), cfg.bits());
+        let v = Frsz2Vector::compress(cfg, &data);
+        let out = v.decompress();
+        for (b, chunk) in data.chunks(bs).enumerate() {
+            let emax = reference::block_emax(chunk) as i32;
+            let bound = exp2_wide(emax - 1023 - (l as i32 - 2));
+            for (i, &x) in chunk.iter().enumerate() {
+                let err = (x - out[b * bs + i]).abs();
+                prop_assert!(
+                    err < bound || (err == 0.0 && bound == 0.0),
+                    "l={} bs={} value {}: err {:e} >= bound {:e}",
+                    l, bs, b * bs + i, err, bound
+                );
+            }
+        }
+        let n = data.len();
+        let blocks = n.div_ceil(bs);
+        let eq3 = blocks * (bs * l as usize).div_ceil(32) * 4 + blocks * 4;
+        prop_assert_eq!(cfg.storage_bytes(n), eq3);
+        prop_assert_eq!(v.storage_bytes(), eq3);
     }
 
     /// Compressed size matches Eq. 3 for arbitrary lengths.

@@ -117,7 +117,13 @@ mod tests {
             fp64: 103 * n,
             ..Counters::default()
         };
-        assert_eq!(estimate(&H100_PCIE, &mem_only).bottleneck(), "memory-bandwidth");
-        assert_eq!(estimate(&H100_PCIE, &at_crossover).bottleneck(), "fp64-pipe");
+        assert_eq!(
+            estimate(&H100_PCIE, &mem_only).bottleneck(),
+            "memory-bandwidth"
+        );
+        assert_eq!(
+            estimate(&H100_PCIE, &at_crossover).bottleneck(),
+            "fp64-pipe"
+        );
     }
 }

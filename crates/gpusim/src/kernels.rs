@@ -133,8 +133,7 @@ pub fn frsz2_decompress_sim(
                 // unaligned memory read" overhead of §IV-C.
                 let off: [usize; WARP] = std::array::from_fn(|i| i * l as usize);
                 let w0: [usize; WARP] = std::array::from_fn(|i| base + off[i] / 32);
-                let w1: [usize; WARP] =
-                    std::array::from_fn(|i| (w0[i] + 1).min(base + wpb - 1));
+                let w1: [usize; WARP] = std::array::from_fn(|i| (w0[i] + 1).min(base + wpb - 1));
                 let lo = w.load_u32(words, &w0);
                 // The second word of each straddling value overlaps the
                 // next lane's first word: an L1 hit, but a second LSU
@@ -160,7 +159,11 @@ pub fn frsz2_decompress_sim(
 /// butterfly, per-lane encode, coalesced stores (§IV-A steps 1-6).
 pub fn frsz2_compress_sim(cfg: Frsz2Config, input: &[f64]) -> (Vec<u32>, Vec<u32>, Counters) {
     assert_eq!(cfg.block_size(), WARP, "simulated kernels require BS = 32");
-    assert_eq!(input.len() % WARP, 0, "simulated kernels require full warps");
+    assert_eq!(
+        input.len() % WARP,
+        0,
+        "simulated kernels require full warps"
+    );
     assert_eq!(
         cfg.rounding(),
         frsz2::Rounding::Truncate,
@@ -220,8 +223,7 @@ pub fn frsz2_compress_sim(cfg: Frsz2Config, input: &[f64]) -> (Vec<u32>, Vec<u32
                             frsz2::bitpack::write_bits(block_words, i * l as usize, l, c);
                         }
                         // Stores: one transaction per word region.
-                        let word_idxs: [usize; WARP] =
-                            std::array::from_fn(|i| i.min(wpb - 1));
+                        let word_idxs: [usize; WARP] = std::array::from_fn(|i| i.min(wpb - 1));
                         let zero = [0u32; WARP];
                         w.account_store_only(block_words, &word_idxs, &zero);
                     }
@@ -324,10 +326,7 @@ pub fn stream_base_counters(fmt: StreamFormat, n: usize) -> (Counters, f64) {
             (c, sink.iter().sum())
         }
         StreamFormat::AccF16 => {
-            let narrow: Vec<u16> = data
-                .iter()
-                .map(|&v| numfmt_f16_bits(v))
-                .collect();
+            let narrow: Vec<u16> = data.iter().map(|&v| numfmt_f16_bits(v)).collect();
             let mut sink = vec![0.0f64; n];
             let c = launch_over(&mut sink, WARP, |w, b, tile| {
                 let idxs: [usize; WARP] = std::array::from_fn(|i| b * WARP + i);
@@ -506,7 +505,10 @@ mod tests {
         let native = ai_series(&H100_PCIE, StreamFormat::F64Native, n, &ais);
         let acc = ai_series(&H100_PCIE, StreamFormat::AccF64, n, &ais);
         for (a, b) in native.iter().zip(&acc) {
-            assert!((a.gflops - b.gflops).abs() < 1e-9, "accessor overhead visible");
+            assert!(
+                (a.gflops - b.gflops).abs() < 1e-9,
+                "accessor overhead visible"
+            );
         }
     }
 

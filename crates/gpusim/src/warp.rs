@@ -326,7 +326,10 @@ mod tests {
         // Stride 8: every lane in its own sector.
         let idxs: [usize; WARP] = std::array::from_fn(|i| i * 8);
         w.load_f64(&mem, &idxs);
-        assert!(w.counters.sectors_read >= 32, "uncoalesced access must cost full sectors");
+        assert!(
+            w.counters.sectors_read >= 32,
+            "uncoalesced access must cost full sectors"
+        );
     }
 
     #[test]
@@ -345,6 +348,9 @@ mod tests {
         let mem = vec![7u32; 100];
         assert_eq!(w.load_broadcast_u32(&mem, 50), 7);
         assert_eq!(w.counters.sectors_read, 1);
-        assert_eq!(w.counters.bytes_read, 4, "L2-shared sector bills only its data");
+        assert_eq!(
+            w.counters.bytes_read, 4,
+            "L2-shared sector bills only its data"
+        );
     }
 }

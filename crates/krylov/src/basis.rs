@@ -185,9 +185,9 @@ mod tests {
         }
         let mut out = vec![7.0; n]; // must be overwritten, not accumulated
         basis.combine(&[1.0, -1.0, 0.5], &mut out);
-        for i in 0..n {
+        for (i, o) in out.iter().enumerate() {
             let expect = i as f64 - (i + 1) as f64 + 0.5 * (i + 2) as f64;
-            assert_eq!(out[i], expect);
+            assert_eq!(*o, expect);
         }
     }
 

@@ -368,8 +368,8 @@ mod tests {
         let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 500], &opts(1e-14), &Identity);
         assert!(r.stats.converged);
         assert!(r.stats.iterations <= 2);
-        for i in 0..500 {
-            assert!((r.x[i] - xsol[i]).abs() < 1e-12);
+        for (xi, si) in r.x.iter().zip(&xsol) {
+            assert!((xi - si).abs() < 1e-12);
         }
     }
 
@@ -383,8 +383,8 @@ mod tests {
         let (xsol, b) = manufactured_rhs(&a);
         let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 50], &opts(1e-13), &Identity);
         assert!(r.stats.converged, "final rrn {}", r.stats.final_rrn);
-        for i in 0..50 {
-            assert!((r.x[i] - xsol[i]).abs() < 1e-9, "x[{i}]");
+        for (i, (xi, si)) in r.x.iter().zip(&xsol).enumerate() {
+            assert!((xi - si).abs() < 1e-9, "x[{i}]");
         }
     }
 
@@ -423,7 +423,10 @@ mod tests {
         // Implicit estimates never increase within a cycle.
         let mut prev = f64::INFINITY;
         for p in r.history.iter().filter(|p| !p.explicit) {
-            assert!(p.rrn <= prev * (1.0 + 1e-12) || p.explicit, "implicit rrn rose");
+            assert!(
+                p.rrn <= prev * (1.0 + 1e-12) || p.explicit,
+                "implicit rrn rose"
+            );
             prev = if p.explicit { f64::INFINITY } else { p.rrn };
         }
     }
@@ -464,8 +467,8 @@ mod tests {
             let s = f64::powi(10.0, (i % 7) as i32 - 3);
             coo.push(i, i, 4.0 * s);
             if i + 1 < 400 {
-                coo.push(i, i + 1, -1.0 * s);
-                coo.push(i + 1, i, -1.0 * s);
+                coo.push(i, i + 1, -s);
+                coo.push(i + 1, i, -s);
             }
         }
         let a = coo.to_csr();
@@ -487,7 +490,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = Csr::identity(10);
-        let r = gmres::<DenseStore<f64>, _>(&a, &vec![0.0; 10], &vec![1.0; 10], &opts(1e-12), &Identity);
+        let r = gmres::<DenseStore<f64>, _>(&a, &[0.0; 10], &[1.0; 10], &opts(1e-12), &Identity);
         assert!(r.stats.converged);
         assert!(r.x.iter().all(|&v| v == 0.0));
         assert_eq!(r.stats.iterations, 0);
@@ -505,7 +508,10 @@ mod tests {
         let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 216], &o, &Identity);
         let v = r.captured_basis_vector.expect("vector captured");
         let nrm = spla::dense::norm2(&v);
-        assert!((nrm - 1.0).abs() < 1e-10, "basis vectors are unit norm, got {nrm}");
+        assert!(
+            (nrm - 1.0).abs() < 1e-10,
+            "basis vectors are unit norm, got {nrm}"
+        );
     }
 
     #[test]
@@ -534,7 +540,11 @@ mod tests {
         assert_eq!(r1.stats.iterations, r2.stats.iterations);
         assert_eq!(r1.history.len(), r2.history.len());
         for (p, q) in r1.history.iter().zip(&r2.history) {
-            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history must be bitwise equal");
+            assert_eq!(
+                p.rrn.to_bits(),
+                q.rrn.to_bits(),
+                "history must be bitwise equal"
+            );
         }
         for (a1, a2) in r1.x.iter().zip(&r2.x) {
             assert_eq!(a1.to_bits(), a2.to_bits());

@@ -230,7 +230,12 @@ mod tests {
         let mut out = vec![0.0; 4];
         p.apply(&b, &mut out);
         for i in 0..4 {
-            assert!((out[i] - x[i]).abs() < 1e-14, "i={i}: {} vs {}", out[i], x[i]);
+            assert!(
+                (out[i] - x[i]).abs() < 1e-14,
+                "i={i}: {} vs {}",
+                out[i],
+                x[i]
+            );
         }
     }
 

@@ -58,7 +58,7 @@ impl F16 {
     /// Convert from `f64` with a single round-to-nearest-even step.
     pub fn from_f64(x: f64) -> F16 {
         let bits = x.to_bits();
-        let sign = (((bits >> 63) as u16) << 15) as u16;
+        let sign = ((bits >> 63) as u16) << 15;
         let exp = ((bits >> 52) & 0x7FF) as i32;
         let man = bits & ((1u64 << 52) - 1);
 
@@ -213,9 +213,9 @@ mod tests {
             (2.0, 0x4000),
             (0.5, 0x3800),
             (65504.0, 0x7BFF),
-            (6.103515625e-5, 0x0400),  // min normal 2^-14
+            (6.103515625e-5, 0x0400),       // min normal 2^-14
             (5.960464477539063e-8, 0x0001), // min subnormal 2^-24
-            (0.333251953125, 0x3555), // nearest f16 to 1/3
+            (0.333251953125, 0x3555),       // nearest f16 to 1/3
         ] {
             assert_eq!(F16::from_f64(v).to_bits(), bits, "encode {v}");
             assert_eq!(F16::from_bits(bits).to_f64(), v, "decode {bits:#06x}");
@@ -225,7 +225,10 @@ mod tests {
     #[test]
     fn negative_zero_preserved() {
         assert_eq!(F16::from_f64(-0.0).to_bits(), 0x8000);
-        assert_eq!(F16::from_bits(0x8000).to_f64().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            F16::from_bits(0x8000).to_f64().to_bits(),
+            (-0.0f64).to_bits()
+        );
     }
 
     #[test]
@@ -253,7 +256,10 @@ mod tests {
         // 2^-25 is exactly half the smallest subnormal: ties to even -> 0
         assert_eq!(F16::from_f64(f64::powi(2.0, -25)).to_bits(), 0x0000);
         // slightly above half rounds up to the smallest subnormal
-        assert_eq!(F16::from_f64(f64::powi(2.0, -25) * 1.0001).to_bits(), 0x0001);
+        assert_eq!(
+            F16::from_f64(f64::powi(2.0, -25) * 1.0001).to_bits(),
+            0x0001
+        );
         // 2^-24 encodes exactly
         assert_eq!(F16::from_f64(f64::powi(2.0, -24)).to_bits(), 0x0001);
         // deep underflow is zero

@@ -95,10 +95,7 @@ mod tests {
         m.push(1, 1, 3.0);
         m.push(2, 0, -1.0);
         m.compact();
-        assert_eq!(
-            m.entries(),
-            &[(0, 2, 1.0), (1, 1, 5.0), (2, 0, -1.0)]
-        );
+        assert_eq!(m.entries(), &[(0, 2, 1.0), (1, 1, 5.0), (2, 0, -1.0)]);
     }
 
     #[test]

@@ -114,12 +114,12 @@ impl Csr {
     pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[idx] * x[self.col_idx[idx] as usize];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -133,10 +133,10 @@ impl Csr {
     /// Main-diagonal entries (zero where the diagonal is absent).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.rows.min(self.cols)];
-        for i in 0..d.len() {
+        for (i, di) in d.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             if let Ok(pos) = cols.binary_search(&(i as u32)) {
-                d[i] = vals[pos];
+                *di = vals[pos];
             }
         }
         d
@@ -227,7 +227,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut m = Coo::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             m.push(r, c, v);
         }
         m.to_csr()

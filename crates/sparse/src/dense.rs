@@ -115,7 +115,11 @@ mod tests {
         let y: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.2).cos()).collect();
         let d1 = dot(&x, &y);
         let d2 = dot(&x, &y);
-        assert_eq!(d1.to_bits(), d2.to_bits(), "parallel dot must be deterministic");
+        assert_eq!(
+            d1.to_bits(),
+            d2.to_bits(),
+            "parallel dot must be deterministic"
+        );
         // Matches a compensated serial reference within rounding slack.
         let serial: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((d1 - serial).abs() <= 1e-9 * serial.abs().max(1.0));

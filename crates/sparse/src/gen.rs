@@ -49,8 +49,11 @@ pub fn conv_diff_3d(nx: usize, ny: usize, nz: usize, conv: [f64; 3], shift: f64)
                 let mut diag = shift;
                 // One (lo, hi) coefficient pair per dimension; upwinding
                 // splits the convection onto the upstream side.
-                let dims: [(usize, usize, usize, f64); 3] =
-                    [(x, nx, 1, conv[0]), (y, ny, nx, conv[1]), (z, nz, nx * ny, conv[2])];
+                let dims: [(usize, usize, usize, f64); 3] = [
+                    (x, nx, 1, conv[0]),
+                    (y, ny, nx, conv[1]),
+                    (z, nz, nx * ny, conv[2]),
+                ];
                 for &(pos, extent, stride, c) in &dims {
                     let lo = -1.0 - c.max(0.0);
                     let hi = -1.0 + c.min(0.0);
@@ -87,8 +90,7 @@ pub fn stencil_27pt(nx: usize, ny: usize, nz: usize, conv: f64, shift: f64) -> C
                             if dx == 0 && dy == 0 && dz == 0 {
                                 continue;
                             }
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -228,7 +230,7 @@ pub fn phi_smooth_z(nx: usize, ny: usize, nz: usize, range: u32) -> Vec<i32> {
         } else {
             0
         };
-        phi.extend(std::iter::repeat(v).take(nx * ny));
+        phi.extend(std::iter::repeat_n(v, nx * ny));
     }
     phi
 }

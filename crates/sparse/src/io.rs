@@ -19,7 +19,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<Coo> {
     let header = lines
         .next()
         .ok_or_else(|| bad("empty MatrixMarket file"))??;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if h.len() < 5 || !h[0].starts_with("%%matrixmarket") || h[1] != "matrix" {
         return Err(bad("not a MatrixMarket matrix header"));
     }
@@ -143,7 +146,9 @@ mod tests {
         let m = crate::gen::conv_diff_3d(4, 3, 2, [0.2, 0.0, 0.0], 0.5);
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
-        let back = read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        let back = read_matrix_market(BufReader::new(&buf[..]))
+            .unwrap()
+            .to_csr();
         assert_eq!(back.rows(), m.rows());
         assert_eq!(back.nnz(), m.nnz());
         assert_eq!(back.col_indices(), m.col_indices());
@@ -155,8 +160,8 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for text in [
-            "",                                                    // empty
-            "%%MatrixMarket matrix array real general\n2 2 4\n",   // array format
+            "",                                                                   // empty
+            "%%MatrixMarket matrix array real general\n2 2 4\n",                  // array format
             "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",    // OOB
             "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",    // count

@@ -27,17 +27,72 @@ pub struct TableOneEntry {
 
 /// Table I of the paper, verbatim.
 pub const TABLE_ONE: [TableOneEntry; 11] = [
-    TableOneEntry { name: "atmosmodd", paper_rows: 1_270_432, paper_nnz: 8_814_880, target_rrn: 4.0e-16 },
-    TableOneEntry { name: "atmosmodj", paper_rows: 1_270_432, paper_nnz: 8_814_880, target_rrn: 4.0e-16 },
-    TableOneEntry { name: "atmosmodl", paper_rows: 1_489_752, paper_nnz: 10_319_760, target_rrn: 4.0e-16 },
-    TableOneEntry { name: "atmosmodm", paper_rows: 1_489_752, paper_nnz: 10_319_760, target_rrn: 4.0e-16 },
-    TableOneEntry { name: "cfd2", paper_rows: 123_440, paper_nnz: 3_085_406, target_rrn: 1.8e-10 },
-    TableOneEntry { name: "HV15R", paper_rows: 2_017_169, paper_nnz: 283_073_458, target_rrn: 1.6e-02 },
-    TableOneEntry { name: "lung2", paper_rows: 109_460, paper_nnz: 492_564, target_rrn: 1.8e-08 },
-    TableOneEntry { name: "parabolic_fem", paper_rows: 525_825, paper_nnz: 3_674_625, target_rrn: 4.0e-16 },
-    TableOneEntry { name: "PR02R", paper_rows: 161_070, paper_nnz: 8_185_136, target_rrn: 4.0e-03 },
-    TableOneEntry { name: "RM07R", paper_rows: 381_689, paper_nnz: 37_464_962, target_rrn: 8.0e-03 },
-    TableOneEntry { name: "StocF-1465", paper_rows: 1_465_137, paper_nnz: 21_005_389, target_rrn: 4.0e-06 },
+    TableOneEntry {
+        name: "atmosmodd",
+        paper_rows: 1_270_432,
+        paper_nnz: 8_814_880,
+        target_rrn: 4.0e-16,
+    },
+    TableOneEntry {
+        name: "atmosmodj",
+        paper_rows: 1_270_432,
+        paper_nnz: 8_814_880,
+        target_rrn: 4.0e-16,
+    },
+    TableOneEntry {
+        name: "atmosmodl",
+        paper_rows: 1_489_752,
+        paper_nnz: 10_319_760,
+        target_rrn: 4.0e-16,
+    },
+    TableOneEntry {
+        name: "atmosmodm",
+        paper_rows: 1_489_752,
+        paper_nnz: 10_319_760,
+        target_rrn: 4.0e-16,
+    },
+    TableOneEntry {
+        name: "cfd2",
+        paper_rows: 123_440,
+        paper_nnz: 3_085_406,
+        target_rrn: 1.8e-10,
+    },
+    TableOneEntry {
+        name: "HV15R",
+        paper_rows: 2_017_169,
+        paper_nnz: 283_073_458,
+        target_rrn: 1.6e-02,
+    },
+    TableOneEntry {
+        name: "lung2",
+        paper_rows: 109_460,
+        paper_nnz: 492_564,
+        target_rrn: 1.8e-08,
+    },
+    TableOneEntry {
+        name: "parabolic_fem",
+        paper_rows: 525_825,
+        paper_nnz: 3_674_625,
+        target_rrn: 4.0e-16,
+    },
+    TableOneEntry {
+        name: "PR02R",
+        paper_rows: 161_070,
+        paper_nnz: 8_185_136,
+        target_rrn: 4.0e-03,
+    },
+    TableOneEntry {
+        name: "RM07R",
+        paper_rows: 381_689,
+        paper_nnz: 37_464_962,
+        target_rrn: 8.0e-03,
+    },
+    TableOneEntry {
+        name: "StocF-1465",
+        paper_rows: 1_465_137,
+        paper_nnz: 21_005_389,
+        target_rrn: 4.0e-06,
+    },
 ];
 
 /// A built suite problem: metadata plus the assembled operator.
@@ -198,7 +253,10 @@ mod tests {
         // GMRES territory: atmosmod/lung2/PR02R are non-symmetric.
         for name in ["atmosmodd", "lung2", "PR02R", "RM07R", "HV15R"] {
             let m = build(name, 0.25).unwrap();
-            assert!(m.matrix.asymmetry() > 1e-3, "{name} should be non-symmetric");
+            assert!(
+                m.matrix.asymmetry() > 1e-3,
+                "{name} should be non-symmetric"
+            );
         }
         for name in ["cfd2", "parabolic_fem"] {
             let m = build(name, 0.25).unwrap();
@@ -215,7 +273,11 @@ mod tests {
         use crate::stats::exponent_range;
         let p = build("PR02R", 0.25).unwrap();
         let (lo, hi) = exponent_range(p.matrix.values());
-        assert!(hi - lo >= 60, "PR02R analogue spread too small: {}", hi - lo);
+        assert!(
+            hi - lo >= 60,
+            "PR02R analogue spread too small: {}",
+            hi - lo
+        );
         let h = build("HV15R", 0.25).unwrap();
         let (lo2, hi2) = exponent_range(h.matrix.values());
         assert!(hi2 - lo2 >= 8, "HV15R analogue should still span binades");

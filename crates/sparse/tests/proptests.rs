@@ -6,10 +6,7 @@ use std::io::BufReader;
 
 /// Random small dense matrix as triplets (possibly with duplicates).
 fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, -10.0f64..10.0),
-        0..(n * n * 2).max(1),
-    )
+    prop::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..(n * n * 2).max(1))
 }
 
 fn dense_from(n: usize, trips: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {

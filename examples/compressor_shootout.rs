@@ -25,7 +25,9 @@ fn main() {
         Box::new(CastF16),
     ];
     for info in registry::TABLE_TWO.iter() {
-        codecs.push(Box::new(RegistryCodec(registry::by_name(info.name).unwrap())));
+        codecs.push(Box::new(RegistryCodec(
+            registry::by_name(info.name).unwrap(),
+        )));
     }
 
     println!(

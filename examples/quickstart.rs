@@ -45,13 +45,12 @@ fn main() {
     let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity);
     let comp = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
     for r in [&full, &comp] {
-        let err: f64 = r
-            .x
-            .iter()
-            .zip(&x_true)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
         println!(
             "  {:<10} {} iterations, final RRN {:.2e}, ‖x - x*‖ = {err:.2e}, basis {:.0} bits/value",
             r.stats.format, r.stats.iterations, r.stats.final_rrn, r.stats.basis_bits_per_value

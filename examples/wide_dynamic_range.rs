@@ -26,7 +26,10 @@ fn main() {
     println!("data spans 2^{lo} .. 2^{hi} ({} binades)\n", hi - lo);
 
     let cfg = Frsz2Config::new(32, 32);
-    for (label, data) in [("uncorrelated (PR02R-like)", &scattered), ("sorted (HV15R-like)", &sorted)] {
+    for (label, data) in [
+        ("uncorrelated (PR02R-like)", &scattered),
+        ("sorted (HV15R-like)", &sorted),
+    ] {
         let v = Frsz2Vector::compress(cfg, data);
         let out = v.decompress();
         let stats = error_stats(data, &out);

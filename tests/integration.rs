@@ -26,30 +26,108 @@ fn every_storage_format_solves_the_same_system() {
     let opts = small_opts(1e-10);
 
     let check = |label: &str, r: frsz2_repro::krylov::SolveResult| {
-        assert!(r.stats.converged, "{label} did not converge: {}", r.stats.final_rrn);
-        let err: f64 = r
-            .x
-            .iter()
-            .zip(&x_true)
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt();
+        assert!(
+            r.stats.converged,
+            "{label} did not converge: {}",
+            r.stats.final_rrn
+        );
+        let err: f64 =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
         assert!(err < 1e-6, "{label} solution error {err}");
         r.stats.iterations
     };
 
-    let base = check("float64", gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity));
+    let base = check(
+        "float64",
+        gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity),
+    );
     for (label, iters) in [
-        ("float32", check("float32", gmres::<DenseStore<f32>, _>(&a, &b, &x0, &opts, &Identity))),
-        ("float16", check("float16", gmres::<DenseStore<F16>, _>(&a, &b, &x0, &opts, &Identity))),
-        ("bfloat16", check("bfloat16", gmres::<DenseStore<BF16>, _>(&a, &b, &x0, &opts, &Identity))),
-        ("frsz2_32", check("frsz2_32", gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity))),
+        (
+            "float32",
+            check(
+                "float32",
+                gmres::<DenseStore<f32>, _>(&a, &b, &x0, &opts, &Identity),
+            ),
+        ),
+        (
+            "float16",
+            check(
+                "float16",
+                gmres::<DenseStore<F16>, _>(&a, &b, &x0, &opts, &Identity),
+            ),
+        ),
+        (
+            "bfloat16",
+            check(
+                "bfloat16",
+                gmres::<DenseStore<BF16>, _>(&a, &b, &x0, &opts, &Identity),
+            ),
+        ),
+        (
+            "frsz2_32",
+            check(
+                "frsz2_32",
+                gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity),
+            ),
+        ),
     ] {
         assert!(
             iters >= base,
             "{label} cannot beat the uncompressed basis on iterations here"
         );
     }
+}
+
+#[test]
+fn cb_gmres_with_frsz2_21_basis_matches_f64_tolerance() {
+    // Smoke test for the paper's headline configuration: CB-GMRES whose
+    // Krylov basis is stored with the non-word-aligned `l = 21` format
+    // must reach the same tolerance as the uncompressed f64 basis on the
+    // 10×10×10 convection–diffusion system.
+    let a = gen::conv_diff_3d(10, 10, 10, [0.4, 0.2, 0.1], 0.2);
+    let (x_true, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-10);
+
+    let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity);
+    assert!(full.stats.converged, "f64 baseline did not converge");
+
+    let cfg = Frsz2Config::new(32, 21);
+    let cb = gmres_with(&a, &b, &x0, &opts, &Identity, |rows, cols| {
+        Frsz2Store::with_config(cfg, rows, cols)
+    });
+    assert!(
+        cb.stats.converged,
+        "frsz2_21 basis did not reach 1e-10 (rrn {:.2e})",
+        cb.stats.final_rrn
+    );
+    assert!(
+        cb.stats.final_rrn <= opts.target_rrn,
+        "converged flag disagrees with the residual ({:.2e})",
+        cb.stats.final_rrn
+    );
+    // Both solves must actually solve the system, not merely stagnate.
+    for (label, r) in [("float64", &full), ("frsz2_21", &cb)] {
+        let err: f64 =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
+        assert!(err < 1e-6, "{label} solution error {err}");
+    }
+    // 21-bit storage cannot beat the uncompressed basis on iterations.
+    assert!(cb.stats.iterations >= full.stats.iterations);
+    // And it must actually be storing ~21+ amortized bits, not 64.
+    assert!(
+        cb.stats.basis_bits_per_value < 23.0 && cb.stats.basis_bits_per_value > 20.0,
+        "frsz2_21 basis reports {} bits/value",
+        cb.stats.basis_bits_per_value
+    );
 }
 
 #[test]
@@ -67,8 +145,14 @@ fn frsz2_variants_order_by_precision() {
         r.stats.iterations
     };
     let (i16_, i32_, i64_) = (run(16), run(32), run(64));
-    assert!(i64_ <= i32_, "more precision cannot need more iterations ({i64_} vs {i32_})");
-    assert!(i32_ <= i16_, "frsz2_32 ({i32_}) must beat frsz2_16 ({i16_})");
+    assert!(
+        i64_ <= i32_,
+        "more precision cannot need more iterations ({i64_} vs {i32_})"
+    );
+    assert!(
+        i32_ <= i16_,
+        "frsz2_32 ({i32_}) must beat frsz2_16 ({i16_})"
+    );
 }
 
 #[test]
@@ -109,13 +193,17 @@ fn simulated_gpu_kernels_agree_with_solver_storage() {
     store.read_column(0, &mut via_accessor);
 
     let v = Frsz2Vector::compress(cfg, &data);
-    let (via_sim, counters) = gpusim::kernels::frsz2_decompress_sim(cfg, v.words(), v.exponents(), n);
+    let (via_sim, counters) =
+        gpusim::kernels::frsz2_decompress_sim(cfg, v.words(), v.exponents(), n);
     for i in 0..n {
         assert_eq!(via_sim[i].to_bits(), via_accessor[i].to_bits(), "row {i}");
     }
     // And the simulated kernel must fit the paper's instruction budget.
     let ops_per_value = (counters.int + counters.clz) as f64 / n as f64;
-    assert!(ops_per_value < 46.0, "decompression exceeds the §I budget: {ops_per_value}");
+    assert!(
+        ops_per_value < 46.0,
+        "decompression exceeds the §I budget: {ops_per_value}"
+    );
 }
 
 #[test]
@@ -123,9 +211,15 @@ fn suite_problems_have_finite_unit_rhs() {
     for name in suite::names() {
         let m = suite::build(name, 0.2).unwrap();
         let (x, b) = manufactured_rhs(&m.matrix);
-        assert!((norm2(&x) - 1.0).abs() < 1e-12, "{name}: solution not unit norm");
+        assert!(
+            (norm2(&x) - 1.0).abs() < 1e-12,
+            "{name}: solution not unit norm"
+        );
         assert!(b.iter().all(|v| v.is_finite()), "{name}: non-finite rhs");
-        assert!(suite::analogue_target(name).is_some(), "{name}: no analogue target");
+        assert!(
+            suite::analogue_target(name).is_some(),
+            "{name}: no analogue target"
+        );
     }
 }
 
@@ -198,5 +292,8 @@ fn wide_range_flush_behaviour_matches_prediction_end_to_end() {
         (predicted - observed).abs() < 1e-9,
         "predicted {predicted} vs observed {observed}"
     );
-    assert!(observed > 0.05, "the wide-range data must actually flush values");
+    assert!(
+        observed > 0.05,
+        "the wide-range data must actually flush values"
+    );
 }

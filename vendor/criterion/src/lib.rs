@@ -1,0 +1,226 @@
+//! Lightweight timing harness with the [criterion] API surface this
+//! workspace's benches use.
+//!
+//! The build environment cannot reach crates.io, so this stub replaces
+//! the real criterion. It keeps the bench sources unchanged and
+//! measures honestly — median of timed samples after a warm-up — but
+//! drops criterion's statistics engine, HTML reports, and CLI. Output
+//! is one line per benchmark: `name  time/iter  [throughput]`.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation used to derive rates from iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `samples` timed calls; the
+    /// median per-call time is recorded for the group's report line.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.id, b.median);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.median);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.min(self.criterion.max_samples)
+    }
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        if per_iter.is_zero() {
+            // The bench closure never called `Bencher::iter`.
+            println!("{}/{:<40} (no measurement)", self.name, id);
+            return;
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                let gib = n as f64 / (1u64 << 30) as f64;
+                format!("  {:>10.3} GiB/s", gib / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Elements(n)) => {
+                let ge = n as f64 / 1e9;
+                format!("  {:>10.3} Gelem/s", ge / per_iter.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<40} {:>12.3?}/iter{}", self.name, id, per_iter, rate);
+    }
+}
+
+/// Top-level driver (subset: benchmark groups only).
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep stub runs quick: cap samples regardless of group settings.
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group; bench targets set `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1 << 20));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &p| {
+            b.iter(|| p * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("compress", 21).id, "compress/21");
+        assert_eq!(BenchmarkId::from_parameter("float64").id, "float64");
+    }
+}

@@ -1,0 +1,252 @@
+//! Deterministic mini property-testing framework with the [proptest]
+//! API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendored stub
+//! replaces the real proptest. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   assertion message; inputs are reproducible because generation is
+//!   deterministic (the RNG is seeded from the test name).
+//! * **Rejection (`prop_assume!`) skips the case** instead of retrying
+//!   with fresh inputs.
+//! * Only the strategies the workspace tests use are provided: numeric
+//!   ranges, `Just`, tuples, `prop_map`, weighted/unweighted
+//!   `prop_oneof!`, `prop::collection::vec`, and `prop::num::f64`.
+//!
+//! Swapping the real proptest back in requires only a `Cargo.toml`
+//! change; the test sources are written against the real API.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of `proptest::prelude::prop`: module-style access to the
+    /// strategy collections (`prop::collection::vec`, `prop::num::f64`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Assert a boolean property; on failure the current case returns an
+/// error (reported with the case number by the generated test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal (`PartialEq`), with optional context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Reject the current case when a precondition does not hold (the case
+/// is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies producing the same
+/// value type. `prop_oneof![a, b]` picks uniformly; `prop_oneof![3 => a,
+/// 1 => b]` picks `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Generate `#[test]` functions that run a body against sampled inputs.
+///
+/// Supports the real proptest surface used in this workspace: an
+/// optional `#![proptest_config(...)]` header, doc comments / attributes
+/// per test, and `pattern in strategy` argument bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut rejected: u32 = 0;
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_rejection() => rejected += 1,
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest `{}`, case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    ),
+                }
+            }
+            assert!(
+                rejected < config.cases,
+                "proptest `{}`: every case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    (($config:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(
+            (a, b) in (0u32..10, -5i64..=5),
+            x in -1.0f64..1.0,
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_map(
+            l in prop_oneof![Just(4u32), Just(21), Just(64)],
+            y in (0u32..100).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(l == 4 || l == 21 || l == 64);
+            prop_assert_eq!(y % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(-2.0f64..2.0, 3..17),
+            w in prop::collection::vec(0u64..5, 4),
+        ) {
+            prop_assert!((3..17).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in prop::num::f64::ANY) {
+            prop_assume!(x.is_finite());
+            prop_assert!(!x.is_nan());
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u64..1000, 10..20);
+        let mut r1 = TestRng::for_test("det");
+        let mut r2 = TestRng::for_test("det");
+        for _ in 0..10 {
+            assert_eq!(strat.new_value(&mut r1), strat.new_value(&mut r2));
+        }
+    }
+}

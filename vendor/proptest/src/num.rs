@@ -1,0 +1,36 @@
+//! Numeric strategies (`prop::num::f64::{ANY, NORMAL}`).
+
+#[allow(non_camel_case_types)]
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Any bit pattern — includes ±0, subnormals, ±∞ and NaN; pair with
+    /// `prop_assume!(x.is_finite())` where finiteness matters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            ::core::primitive::f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Normal (non-zero, non-subnormal, finite) values of either sign,
+    /// uniform over sign/exponent/mantissa bits.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Normal;
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            let exp = 1 + rng.below(2046); // biased exponent in 1..=2046
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            ::core::primitive::f64::from_bits(sign | (exp << 52) | mantissa)
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Sequential drop-in replacement for the subset of [rayon] this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real rayon cannot
+//! be fetched from crates.io. This stub keeps the call sites source- and
+//! semantics-compatible: every "parallel" iterator is a thin wrapper over
+//! the corresponding sequential `std` iterator, executed in order on the
+//! calling thread. Because the workspace's kernels are written to be
+//! *deterministic under any thread count* (fixed chunking, serial
+//! reduction of partials), sequential execution produces bit-identical
+//! results to a true parallel run — only wall-clock scaling is lost.
+//!
+//! Swapping the real rayon back in requires only a `Cargo.toml` change;
+//! no source edits.
+//!
+//! [rayon]: https://crates.io/crates/rayon
+
+/// Wrapper marking an iterator as "parallel". All adaptors delegate to
+/// the underlying sequential iterator; `reduce` follows rayon's
+/// `(identity, op)` signature rather than `std`'s.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    #[inline]
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: `identity` produces the unit of `op`.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon tuning hint; a no-op sequentially.
+    #[inline]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` / `par_iter_mut()` by reference.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<'a, C: 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    #[inline]
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_chunks` / `par_chunks_mut` on slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of "worker threads": always 1 in the sequential stub.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_map_collect_matches_serial() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let partials: Vec<f64> = x.par_chunks(7).map(|c| c.iter().sum()).collect();
+        let total: f64 = partials.iter().sum();
+        assert_eq!(total, x.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let s = (0..10usize)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 90);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut y = vec![0usize; 10];
+        y.par_chunks_mut(3).enumerate().for_each(|(b, c)| {
+            for v in c {
+                *v = b;
+            }
+        });
+        assert_eq!(y, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}
