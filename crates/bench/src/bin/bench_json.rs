@@ -1,0 +1,480 @@
+//! Machine-readable perf harness: times the three paper-critical paths
+//! (CSR SpMV, FRSZ2 codec round-trip, one CB-GMRES solve) at explicit
+//! thread counts and emits schema-stable `BENCH_<name>.json` files plus
+//! a combined `results/bench_json.csv`.
+//!
+//! ```text
+//! bench_json [--quick] [--threads 1,2,4] [--runs N]
+//! bench_json --validate BENCH_spmv.json [MORE.json ...]
+//! ```
+//!
+//! Every case records a **fingerprint** (FNV-1a over the bit patterns
+//! of its numeric output); the harness exits non-zero if any case's
+//! fingerprint differs between thread counts, so the determinism
+//! contract is enforced wherever the benches run — including CI's
+//! `bench-smoke` job, which also validates the JSON schema with
+//! `--validate`. See `bench::json` for the schema.
+
+use bench::json::{self, Json};
+use bench::report;
+use frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
+use krylov::{gmres_with, GmresOptions, Identity, SolveResult};
+use spla::gen;
+use spla::Csr;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    threads: Vec<usize>,
+    runs: usize,
+    validate: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: Vec::new(),
+        runs: 0,
+        validate: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                i += 1;
+                let list = argv.get(i).expect("--threads needs a list, e.g. 1,2,4");
+                args.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("bad thread count"))
+                    .collect();
+                assert!(
+                    args.threads.iter().all(|&t| t >= 1),
+                    "thread counts must be >= 1"
+                );
+            }
+            "--runs" => {
+                i += 1;
+                args.runs = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("bad --runs");
+            }
+            "--validate" => {
+                args.validate = argv[i + 1..].to_vec();
+                assert!(
+                    !args.validate.is_empty(),
+                    "--validate needs at least one file"
+                );
+                break;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if args.runs == 0 {
+        args.runs = if args.quick { 3 } else { 5 };
+    }
+    if args.threads.is_empty() {
+        let avail = available_threads();
+        args.threads = if avail > 1 { vec![1, avail] } else { vec![1] };
+    }
+    args
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// FNV-1a over `u64` words: the determinism fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+fn fingerprint_f64s(values: &[f64]) -> String {
+    let mut h = Fnv::new();
+    for v in values {
+        h.push(v.to_bits());
+    }
+    h.hex()
+}
+
+/// One measurement: `runs` timed repetitions after one warmup, under a
+/// pool of exactly `threads` threads.
+fn time_under_pool<F: FnMut()>(threads: usize, runs: usize, mut f: F) -> Vec<f64> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool build");
+    pool.install(|| {
+        f(); // warmup
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    })
+}
+
+fn min_median_mean(samples: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    (min, median, mean)
+}
+
+/// A `(case, threads)` measurement row plus its determinism hash.
+struct CaseResult {
+    name: String,
+    threads: usize,
+    runs: usize,
+    min_ms: f64,
+    median_ms: f64,
+    mean_ms: f64,
+    metrics: Vec<(String, f64)>,
+    fingerprint: String,
+}
+
+impl CaseResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("runs", Json::Num(self.runs as f64)),
+            ("min_ms", Json::Num(self.min_ms)),
+            ("median_ms", Json::Num(self.median_ms)),
+            ("mean_ms", Json::Num(self.mean_ms)),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+        ])
+    }
+}
+
+/// Fail the run (exit 1) if any case produced different bits at
+/// different thread counts.
+fn enforce_determinism(bench: &str, cases: &[CaseResult]) {
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for c in cases {
+        match seen.iter().find(|(name, _)| *name == c.name) {
+            None => seen.push((&c.name, &c.fingerprint)),
+            Some((_, fp)) if *fp == c.fingerprint => {}
+            Some((_, fp)) => {
+                eprintln!(
+                    "DETERMINISM VIOLATION in {bench}/{}: fingerprint {} at {} threads \
+                     differs from {}",
+                    c.name, c.fingerprint, c.threads, fp
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn emit_doc(
+    bench: &str,
+    quick: bool,
+    config: Vec<(&str, Json)>,
+    cases: &[CaseResult],
+    speedup_case: &str,
+) -> Json {
+    let mut pairs = vec![
+        ("schema_version", Json::Num(json::BENCH_SCHEMA_VERSION)),
+        ("bench", Json::Str(bench.to_string())),
+        ("quick", Json::Bool(quick)),
+        ("threads_available", Json::Num(available_threads() as f64)),
+        ("config", Json::obj(config)),
+        (
+            "cases",
+            Json::Arr(cases.iter().map(CaseResult::to_json).collect()),
+        ),
+    ];
+    // Speedup of the highest thread count over the lowest for the
+    // designated case (min-of-runs times).
+    let of_case: Vec<&CaseResult> = cases.iter().filter(|c| c.name == speedup_case).collect();
+    if of_case.len() >= 2 {
+        let lo = of_case.iter().min_by_key(|c| c.threads).unwrap();
+        let hi = of_case.iter().max_by_key(|c| c.threads).unwrap();
+        if hi.threads > lo.threads && hi.min_ms > 0.0 {
+            pairs.push((
+                "speedup",
+                Json::obj(vec![
+                    ("case", Json::Str(speedup_case.to_string())),
+                    ("threads", Json::Num(hi.threads as f64)),
+                    ("vs", Json::Num(lo.threads as f64)),
+                    ("factor", Json::Num(lo.min_ms / hi.min_ms)),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// ---------------------------------------------------------------------
+// The three suites.
+// ---------------------------------------------------------------------
+
+/// SpMV on a convection–diffusion operator (≥ 1M nnz in full mode).
+fn bench_spmv(args: &Args) -> (Json, Vec<CaseResult>) {
+    let s = if args.quick { 24 } else { 56 };
+    let a = gen::conv_diff_3d(s, s, s, [0.4, 0.2, 0.1], 0.2);
+    let x: Vec<f64> = (0..a.cols()).map(|i| ((i as f64) * 0.37).sin()).collect();
+    let mut y = vec![0.0; a.rows()];
+    let bytes = a.spmv_bytes();
+    let mut cases = Vec::new();
+    for &threads in &args.threads {
+        let samples = time_under_pool(threads, args.runs, || a.spmv(&x, &mut y));
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "spmv_csr".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("nnz".into(), a.nnz() as f64),
+                ("rows".into(), a.rows() as f64),
+                ("gbps".into(), bytes as f64 / (min_ms * 1e-3) / 1e9),
+            ],
+            fingerprint: fingerprint_f64s(&y),
+        });
+    }
+    let config = vec![
+        ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
+        ("rows", Json::Num(a.rows() as f64)),
+        ("nnz", Json::Num(a.nnz() as f64)),
+        ("bytes_per_spmv", Json::Num(bytes as f64)),
+    ];
+    (
+        emit_doc("spmv", args.quick, config, &cases, "spmv_csr"),
+        cases,
+    )
+}
+
+/// FRSZ2 compress + decompress round-trip at the paper's headline bit
+/// lengths (unaligned `l = 21` and word-aligned `l = 32`).
+fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
+    let n: usize = if args.quick { 1 << 16 } else { 1 << 20 };
+    let data: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin() * 0.9).collect();
+    let mut out = vec![0.0; n];
+    let mut cases = Vec::new();
+    for &bits in &[21u32, 32] {
+        let cfg = Frsz2Config::new(32, bits);
+        for &threads in &args.threads {
+            let samples = time_under_pool(threads, args.runs, || {
+                let v = Frsz2Vector::compress(cfg, &data);
+                v.decompress_into(&mut out);
+            });
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            cases.push(CaseResult {
+                name: format!("codec_roundtrip_l{bits}"),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("values".into(), n as f64),
+                    // Uncompressed bytes moved through the codec per
+                    // round trip (one encode + one decode pass).
+                    (
+                        "gbps_uncompressed".into(),
+                        (2 * n * 8) as f64 / (min_ms * 1e-3) / 1e9,
+                    ),
+                    ("bits_per_value".into(), cfg.bits_per_value(n)),
+                ],
+                fingerprint: fingerprint_f64s(&out),
+            });
+        }
+    }
+    let config = vec![
+        ("values", Json::Num(n as f64)),
+        ("block_size", Json::Num(32.0)),
+    ];
+    (
+        emit_doc("codec", args.quick, config, &cases, "codec_roundtrip_l21"),
+        cases,
+    )
+}
+
+/// One CB-GMRES solve with the paper's `l = 21` compressed basis on the
+/// convection–diffusion system.
+fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
+    let s = if args.quick { 12 } else { 20 };
+    let a = gen::conv_diff_3d(s, s, s, [0.4, 0.2, 0.1], 0.2);
+    let (_, b) = spla::dense::manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = GmresOptions {
+        restart: 100,
+        max_iters: 5000,
+        target_rrn: 1e-10,
+        record_history: true,
+        ..GmresOptions::default()
+    };
+    let cfg = Frsz2Config::new(32, 21);
+    let solve = |a: &Csr| -> SolveResult {
+        gmres_with(a, &b, &x0, &opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        })
+    };
+    let mut cases = Vec::new();
+    for &threads in &args.threads {
+        let mut last: Option<SolveResult> = None;
+        let samples = time_under_pool(threads, args.runs, || last = Some(solve(&a)));
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        let r = last.expect("at least one solve ran");
+        assert!(r.stats.converged, "solve failed to converge");
+        let mut h = Fnv::new();
+        h.push(r.stats.iterations as u64);
+        for point in &r.history {
+            h.push(point.rrn.to_bits());
+        }
+        cases.push(CaseResult {
+            name: "cb_gmres_frsz2_21".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("iterations".into(), r.stats.iterations as f64),
+                ("final_rrn".into(), r.stats.final_rrn),
+                ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
+            ],
+            fingerprint: h.hex(),
+        });
+    }
+    let config = vec![
+        ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
+        ("rows", Json::Num(a.rows() as f64)),
+        ("format", Json::Str("frsz2_21".into())),
+        ("target_rrn", Json::Num(1e-10)),
+    ];
+    (
+        emit_doc("solve", args.quick, config, &cases, "cb_gmres_frsz2_21"),
+        cases,
+    )
+}
+
+fn validate_files(files: &[String]) {
+    let mut failed = false;
+    for path in files {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| json::parse(&text).map_err(|e| format!("parse error: {e}")))
+            .and_then(|doc| json::validate_bench(&doc).map_err(|e| format!("schema error: {e}")));
+        match verdict {
+            Ok(n) => println!("{path}: ok ({n} cases)"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if !args.validate.is_empty() {
+        return validate_files(&args.validate);
+    }
+
+    println!(
+        "bench_json: quick={} runs={} threads={:?} (host parallelism {})",
+        args.quick,
+        args.runs,
+        args.threads,
+        available_threads()
+    );
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    for (bench, build) in [
+        ("spmv", bench_spmv as fn(&Args) -> (Json, Vec<CaseResult>)),
+        ("codec", bench_codec),
+        ("solve", bench_solve),
+    ] {
+        let (doc, cases) = build(&args);
+        enforce_determinism(bench, &cases);
+        let path = report::write_bench_json(bench, &doc).expect("write json");
+        println!("wrote {path}");
+        for c in &cases {
+            csv_rows.push(vec![
+                bench.to_string(),
+                c.name.clone(),
+                c.threads.to_string(),
+                c.runs.to_string(),
+                format!("{:.6}", c.min_ms),
+                format!("{:.6}", c.median_ms),
+                format!("{:.6}", c.mean_ms),
+            ]);
+            table_rows.push(vec![
+                c.name.clone(),
+                c.threads.to_string(),
+                report::fmt_g(c.min_ms),
+                report::fmt_g(c.median_ms),
+                c.fingerprint[..8].to_string(),
+            ]);
+        }
+        if let Some(s) = doc.get("speedup") {
+            println!(
+                "  speedup {}x at {} threads (vs {})",
+                report::fmt_g(s.get("factor").and_then(Json::as_f64).unwrap_or(0.0)),
+                s.get("threads").and_then(Json::as_f64).unwrap_or(0.0),
+                s.get("vs").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    let csv = report::write_csv(
+        "bench_json",
+        &[
+            "bench",
+            "case",
+            "threads",
+            "runs",
+            "min_ms",
+            "median_ms",
+            "mean_ms",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    report::print_table(
+        &["case", "threads", "min_ms", "median_ms", "fingerprint"],
+        &table_rows,
+    );
+    println!("(csv: {csv})");
+}

@@ -1,0 +1,537 @@
+//! Minimal JSON value type, emitter, parser, and the `BENCH_*.json`
+//! schema validator.
+//!
+//! The workspace is fully offline (no serde), so the perf harness
+//! carries its own JSON support. Objects preserve insertion order and
+//! the emitter is deterministic, so the emitted files are
+//! **schema-stable**: the same harness configuration always produces
+//! the same key sequence, making the files diffable across PRs — they
+//! are the perf trajectory CI artifacts are judged against.
+//!
+//! # `BENCH_*.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "spmv",                  // suite name
+//!   "quick": false,                   // quick (CI smoke) sizes?
+//!   "threads_available": 8,           // host parallelism at run time
+//!   "config": { "...": "..." },       // suite-specific scalars
+//!   "cases": [                        // one entry per (case, threads)
+//!     {
+//!       "name": "spmv_csr",
+//!       "threads": 4,
+//!       "runs": 5,
+//!       "min_ms": 1.9, "median_ms": 2.0, "mean_ms": 2.1,
+//!       "metrics": { "gbps": 6.3 },   // case-specific numbers
+//!       "fingerprint": "5d1fe0c2…"    // determinism hash (optional)
+//!     }
+//!   ],
+//!   "speedup": {                      // optional; present when the
+//!     "case": "spmv_csr",             // harness ran ≥ 2 thread counts
+//!     "threads": 4, "vs": 1, "factor": 2.7
+//!   }
+//! }
+//! ```
+//!
+//! `cases[*].fingerprint` hashes the bit pattern of the case's numeric
+//! output; the harness fails if it differs across thread counts, so CI
+//! enforces the determinism contract, not just the schema.
+
+use std::fmt;
+
+/// An ordered JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (duplicate keys are not merged).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs (ergonomic literal form).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no NaN/Inf; null keeps the file parseable
+                    // and the validator rejects it where a number is
+                    // required.
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return f.write_str("[]");
+                }
+                f.write_str("[\n")?;
+                for (i, item) in items.iter().enumerate() {
+                    f.write_str(&pad_in)?;
+                    item.write_indented(f, indent + 1)?;
+                    f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+                }
+                write!(f, "{pad}]")
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{\n")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    f.write_str(&pad_in)?;
+                    write_escaped(f, k)?;
+                    f.write_str(": ")?;
+                    v.write_indented(f, indent + 1)?;
+                    f.write_str(if i + 1 < pairs.len() { ",\n" } else { "\n" })?;
+                }
+                write!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+/// Parse a JSON document (strict enough for round-tripping the files
+/// this workspace emits; `\uXXXX` escapes outside the BMP are not
+/// combined into surrogate pairs).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Current `BENCH_*.json` schema version.
+pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+
+fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing \"{key}\""))?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a finite number"))
+}
+
+/// Validate a parsed document against the version-1 bench schema
+/// documented at module level. Returns the number of cases.
+pub fn validate_bench(doc: &Json) -> Result<usize, String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("document root must be an object".into());
+    }
+    let version = require_num(doc, "root", "schema_version")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("root: missing \"bench\" string")?;
+    if bench.is_empty() {
+        return Err("root: \"bench\" must be non-empty".into());
+    }
+    if !matches!(doc.get("quick"), Some(Json::Bool(_))) {
+        return Err("root: missing \"quick\" bool".into());
+    }
+    if require_num(doc, "root", "threads_available")? < 1.0 {
+        return Err("root: \"threads_available\" must be >= 1".into());
+    }
+    if !matches!(doc.get("config"), Some(Json::Obj(_))) {
+        return Err("root: missing \"config\" object".into());
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("root: missing \"cases\" array")?;
+    if cases.is_empty() {
+        return Err("\"cases\" must be non-empty".into());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        let ctx = format!("cases[{i}]");
+        case.get("name")
+            .and_then(Json::as_str)
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("{ctx}: missing \"name\" string"))?;
+        if require_num(case, &ctx, "threads")? < 1.0 {
+            return Err(format!("{ctx}: \"threads\" must be >= 1"));
+        }
+        if require_num(case, &ctx, "runs")? < 1.0 {
+            return Err(format!("{ctx}: \"runs\" must be >= 1"));
+        }
+        for key in ["min_ms", "median_ms", "mean_ms"] {
+            if require_num(case, &ctx, key)? < 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be >= 0"));
+            }
+        }
+        if let Some(metrics) = case.get("metrics") {
+            let Json::Obj(pairs) = metrics else {
+                return Err(format!("{ctx}: \"metrics\" must be an object"));
+            };
+            for (k, v) in pairs {
+                if v.as_f64().is_none() {
+                    return Err(format!("{ctx}: metric \"{k}\" must be a number"));
+                }
+            }
+        }
+        if let Some(fp) = case.get("fingerprint") {
+            if fp.as_str().is_none() {
+                return Err(format!("{ctx}: \"fingerprint\" must be a string"));
+            }
+        }
+    }
+    if let Some(speedup) = doc.get("speedup") {
+        speedup
+            .get("case")
+            .and_then(Json::as_str)
+            .ok_or("speedup: missing \"case\" string")?;
+        for key in ["threads", "vs", "factor"] {
+            require_num(speedup, "speedup", key)?;
+        }
+    }
+    Ok(cases.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("bench", Json::Str("spmv".into())),
+            ("quick", Json::Bool(true)),
+            ("threads_available", Json::Num(4.0)),
+            (
+                "config",
+                Json::obj(vec![
+                    ("nnz", Json::Num(1_234_567.0)),
+                    ("matrix", Json::Str("conv_diff 56^3".into())),
+                ]),
+            ),
+            (
+                "cases",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::Str("spmv_csr".into())),
+                    ("threads", Json::Num(2.0)),
+                    ("runs", Json::Num(3.0)),
+                    ("min_ms", Json::Num(1.25)),
+                    ("median_ms", Json::Num(1.5)),
+                    ("mean_ms", Json::Num(1.625)),
+                    ("metrics", Json::obj(vec![("gbps", Json::Num(6.25))])),
+                    ("fingerprint", Json::Str("00ff".into())),
+                ])]),
+            ),
+            (
+                "speedup",
+                Json::obj(vec![
+                    ("case", Json::Str("spmv_csr".into())),
+                    ("threads", Json::Num(2.0)),
+                    ("vs", Json::Num(1.0)),
+                    ("factor", Json::Num(1.8)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_preserves_structure() {
+        let doc = sample_doc();
+        let text = doc.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Emission is deterministic (schema-stable output).
+        assert_eq!(text, back.to_string());
+    }
+
+    #[test]
+    fn validator_accepts_sample() {
+        assert_eq!(validate_bench(&sample_doc()), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let mut missing_cases = sample_doc();
+        if let Json::Obj(pairs) = &mut missing_cases {
+            pairs.retain(|(k, _)| k != "cases");
+        }
+        assert!(validate_bench(&missing_cases).is_err());
+
+        let wrong_version = parse(
+            &sample_doc()
+                .to_string()
+                .replace("\"schema_version\": 1", "\"schema_version\": 2"),
+        )
+        .unwrap();
+        assert!(validate_bench(&wrong_version).is_err());
+
+        let negative_time = parse(
+            &sample_doc()
+                .to_string()
+                .replace("\"min_ms\": 1.25", "\"min_ms\": -1"),
+        )
+        .unwrap();
+        assert!(validate_bench(&negative_time).is_err());
+
+        assert!(validate_bench(&Json::Arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = parse(r#"{"a\n\"b": [1, -2.5e3, null, true]}"#).unwrap();
+        assert_eq!(
+            v.get("a\n\"b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        let v = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]);
+        assert_eq!(v.to_string(), "[\n  null,\n  null\n]");
+    }
+}

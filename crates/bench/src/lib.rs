@@ -4,10 +4,14 @@
 //!   (`float64`, `float32`, `float16`, `frsz2_32`, Table II compressor
 //!   configs) to concrete solver invocations,
 //! * [`runner`] — builds suite problems, runs solves, times them,
-//! * [`report`] — aligned-column console tables and CSV emission into
-//!   `results/`.
+//! * [`report`] — aligned-column console tables, CSV emission into
+//!   `results/`, and `BENCH_<name>.json` emission for the perf
+//!   trajectory,
+//! * [`json`] — the offline JSON emitter/parser and the `BENCH_*.json`
+//!   schema validator used by the `bench_json` binary and CI.
 
 pub mod formats;
+pub mod json;
 pub mod model;
 pub mod report;
 pub mod runner;

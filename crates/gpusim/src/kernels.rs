@@ -187,6 +187,10 @@ pub fn frsz2_compress_sim(cfg: Frsz2Config, input: &[f64]) -> (Vec<u32>, Vec<u32
         use rayon::prelude::*;
         paired
             .par_iter_mut()
+            // One item = one 32-value block; bundle several per task so
+            // the per-task overhead stays negligible. Counter merges
+            // are exact, so grouping cannot change the result.
+            .with_min_len(16)
             .map(|(b, block_words, exp_slot)| {
                 let mut w = WarpCtx::new();
                 let base = *b * WARP;

@@ -5,6 +5,11 @@ use crate::counters::Counters;
 use crate::warp::WarpCtx;
 use rayon::prelude::*;
 
+/// Simulated blocks per pool task: a block is one warp tile (typically
+/// 32 lanes), far too little work to deal out individually. Counter
+/// merges are exact integer sums, so grouping never changes results.
+const BLOCKS_PER_TASK: usize = 16;
+
 /// Launch `kernel` once per chunk of `out` (`chunk` elements per block,
 /// block = one simulated warp's tile). The kernel receives its block id
 /// and a mutable view of its output tile. Returns merged counters.
@@ -15,6 +20,7 @@ pub fn launch_over<T: Send>(
 ) -> Counters {
     out.par_chunks_mut(chunk)
         .enumerate()
+        .with_min_len(BLOCKS_PER_TASK)
         .map(|(b, tile)| {
             let mut w = WarpCtx::new();
             kernel(&mut w, b, tile);
@@ -31,6 +37,7 @@ pub fn launch_over<T: Send>(
 pub fn launch(blocks: usize, kernel: impl Fn(&mut WarpCtx, usize) + Sync) -> Counters {
     (0..blocks)
         .into_par_iter()
+        .with_min_len(BLOCKS_PER_TASK)
         .map(|b| {
             let mut w = WarpCtx::new();
             kernel(&mut w, b);

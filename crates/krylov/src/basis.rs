@@ -63,25 +63,37 @@ impl<S: ColumnStorage> Basis<S> {
 
     /// `out[i] = V[:, i]ᵀ w` for `i in 0..k` — the orthogonalization dot
     /// products of step 5, streaming each stored column once through the
-    /// format's fused decode-multiply kernel. Partial sums are reduced in
-    /// chunk order, so the result is thread-count independent.
+    /// format's fused decode-multiply kernel.
+    ///
+    /// All `k` products are computed in **one** parallel pass over the
+    /// row chunks: each worker holds its chunk of `w` hot in cache
+    /// while sweeping the stored columns, and the pool is entered once
+    /// per orthogonalization instead of once per column. Per-column
+    /// partial sums are still reduced serially in chunk order, so the
+    /// result is bit-identical for any thread count (and to the
+    /// per-column formulation this replaces).
     pub fn dots(&self, k: usize, w: &[f64], out: &mut [f64]) {
         assert!(k <= self.cols());
         assert_eq!(w.len(), self.rows());
         assert!(out.len() >= k);
+        if k == 0 {
+            return;
+        }
         let n = self.rows();
         let chunk = self.chunk;
         let n_chunks = n.div_ceil(chunk);
+        let store = &self.store;
+        let partials: Vec<Vec<f64>> = (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * chunk;
+                let len = chunk.min(n - start);
+                let wc = &w[start..start + len];
+                (0..k).map(|j| store.dot_chunk(j, start, wc)).collect()
+            })
+            .collect();
         for (j, out_j) in out.iter_mut().enumerate().take(k) {
-            let partials: Vec<f64> = (0..n_chunks)
-                .into_par_iter()
-                .map(|c| {
-                    let start = c * chunk;
-                    let len = chunk.min(n - start);
-                    self.store.dot_chunk(j, start, &w[start..start + len])
-                })
-                .collect();
-            *out_j = partials.iter().sum();
+            *out_j = partials.iter().map(|p| p[j]).sum();
         }
     }
 
@@ -174,6 +186,47 @@ mod tests {
             expect[i] += -0.5 * (v1[i] as f32 as f64);
         }
         assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn dots_and_axpys_bit_identical_across_thread_counts() {
+        let n = 40_000;
+        let k = 4;
+        let mut basis = Basis::<Frsz2Store>::new(n, k);
+        for j in 0..k {
+            basis.write(j, &vec_of(n, |i| ((i + 31 * j) as f64 * 0.13).sin()));
+        }
+        let w = vec_of(n, |i| ((i as f64) * 0.041).cos());
+        let mut h_ref = vec![0.0; k];
+        basis.dots(k, &w, &mut h_ref);
+        let mut u_ref = w.clone();
+        basis.axpys(k, &[0.5, -1.25, 2.0, -0.125], &mut u_ref);
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut h = vec![0.0; k];
+            let mut u = w.clone();
+            pool.install(|| {
+                basis.dots(k, &w, &mut h);
+                basis.axpys(k, &[0.5, -1.25, 2.0, -0.125], &mut u);
+            });
+            for j in 0..k {
+                assert_eq!(
+                    h[j].to_bits(),
+                    h_ref[j].to_bits(),
+                    "dot {j} at {threads} threads"
+                );
+            }
+            for i in 0..n {
+                assert_eq!(
+                    u[i].to_bits(),
+                    u_ref[i].to_bits(),
+                    "row {i} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

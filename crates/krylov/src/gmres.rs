@@ -4,7 +4,7 @@
 //! numbers in comments refer to it. The Krylov basis `V` is held in an
 //! arbitrary [`ColumnStorage`] format — `DenseStore<f64>` reproduces
 //! standard GMRES, narrower formats reproduce CB-GMRES \[1\], and
-//! [`frsz2::Frsz2Store`] is this paper's contribution. All arithmetic is
+//! `frsz2::Frsz2Store` is this paper's contribution. All arithmetic is
 //! IEEE f64 regardless of storage (the accessor decouples the two).
 //!
 //! Residual bookkeeping matches §VI-A: within a restart cycle the

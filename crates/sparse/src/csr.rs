@@ -17,8 +17,11 @@ pub struct Csr {
     values: Vec<f64>,
 }
 
-/// Rows per parallel work item; large enough to amortize scheduling,
-/// small enough to balance irregular row lengths.
+/// Rows per parallel work item; large enough to amortize scheduling
+/// (≥ ~7k FLOPs per item on the suite's stencils), small enough to
+/// balance irregular row lengths. The pool groups items into tasks
+/// independently of the thread count, so this constant fixes the
+/// work-item geometry, not the parallel grain.
 const ROW_CHUNK: usize = 1024;
 
 impl Csr {
@@ -89,9 +92,17 @@ impl Csr {
     }
 
     /// `y := A x` (parallel over row chunks, deterministic).
+    ///
+    /// Each row is accumulated serially by exactly one worker, so the
+    /// result is bit-identical to [`Csr::spmv_serial`] at any thread
+    /// count.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");
+        if self.rows <= ROW_CHUNK {
+            // A single work item cannot be split; skip the pool.
+            return self.spmv_serial(x, y);
+        }
         let row_ptr = &self.row_ptr;
         let col_idx = &self.col_idx;
         let values = &self.values;
@@ -266,6 +277,38 @@ mod tests {
         a.spmv_serial(&x, &mut y2);
         for i in 0..n {
             assert_eq!(y1[i].to_bits(), y2[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn spmv_bit_identical_across_thread_counts() {
+        let n = 20_000;
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 4.0 + ((i % 11) as f64) * 0.125);
+            if i + 17 < n {
+                m.push(i, i + 17, -((i % 5) as f64) * 0.3 - 0.1);
+                m.push(i + 17, i, 0.77);
+            }
+        }
+        let a = m.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.21).cos()).collect();
+        let mut reference = vec![0.0; n];
+        a.spmv_serial(&x, &mut reference);
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0; n];
+            pool.install(|| a.spmv(&x, &mut y));
+            for i in 0..n {
+                assert_eq!(
+                    y[i].to_bits(),
+                    reference[i].to_bits(),
+                    "row {i} at {threads} threads"
+                );
+            }
         }
     }
 

@@ -9,8 +9,15 @@
 
 use rayon::prelude::*;
 
-/// Elements per parallel chunk. Fixed so reduction order is fixed.
+/// Elements per parallel chunk. Fixed so reduction order is fixed:
+/// partial sums are always per-`CHUNK`, whatever the thread count or
+/// task grouping, so changing the pool's grain never moves a rounding.
 pub const CHUNK: usize = 8192;
+
+/// Minimum chunks per pool task. A single 8 KiB·8 chunk of axpy is
+/// ~64 KiB of streaming — only a few µs — so tasks bundle several
+/// chunks to keep per-task overhead (one atomic claim) well under 1 %.
+const MIN_CHUNKS_PER_TASK: usize = 4;
 
 /// Below this length the parallel runtime costs more than it saves.
 const PAR_THRESHOLD: usize = 16 * 1024;
@@ -24,6 +31,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     let partials: Vec<f64> = x
         .par_chunks(CHUNK)
         .zip(y.par_chunks(CHUNK))
+        .with_min_len(MIN_CHUNKS_PER_TASK)
         .map(|(cx, cy)| cx.iter().zip(cy).map(|(a, b)| a * b).sum())
         .collect();
     partials.iter().sum()
@@ -45,6 +53,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
     y.par_chunks_mut(CHUNK)
         .zip(x.par_chunks(CHUNK))
+        .with_min_len(MIN_CHUNKS_PER_TASK)
         .for_each(|(cy, cx)| {
             for (yi, xi) in cy.iter_mut().zip(cx) {
                 *yi += alpha * xi;
@@ -60,11 +69,13 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
         }
         return;
     }
-    x.par_chunks_mut(CHUNK).for_each(|c| {
-        for xi in c {
-            *xi *= alpha;
-        }
-    });
+    x.par_chunks_mut(CHUNK)
+        .with_min_len(MIN_CHUNKS_PER_TASK)
+        .for_each(|c| {
+            for xi in c {
+                *xi *= alpha;
+            }
+        });
 }
 
 /// `y := x`.
@@ -86,6 +97,7 @@ pub fn sub(x: &[f64], y: &[f64], z: &mut [f64]) {
     z.par_chunks_mut(CHUNK)
         .zip(x.par_chunks(CHUNK))
         .zip(y.par_chunks(CHUNK))
+        .with_min_len(MIN_CHUNKS_PER_TASK)
         .for_each(|((cz, cx), cy)| {
             for ((zi, xi), yi) in cz.iter_mut().zip(cx).zip(cy) {
                 *zi = xi - yi;
@@ -123,6 +135,25 @@ mod tests {
         // Matches a compensated serial reference within rounding slack.
         let serial: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((d1 - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_bit_identical_across_thread_counts() {
+        // Floating-point addition is not associative: this passes only
+        // because partials are always per-CHUNK and summed in chunk
+        // order, regardless of how the pool groups chunks into tasks.
+        let n = 300_000;
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.11).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.07).cos()).collect();
+        let baseline = dot(&x, &y);
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let d = pool.install(|| dot(&x, &y));
+            assert_eq!(d.to_bits(), baseline.to_bits(), "{threads} threads");
+        }
     }
 
     #[test]

@@ -91,15 +91,94 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<Coo> {
     Ok(coo)
 }
 
+/// Value field of a MatrixMarket header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmField {
+    /// Values written with 17 significant digits (exact f64 round trip).
+    Real,
+    /// Values written as integers; every entry must be integral.
+    Integer,
+}
+
+/// Symmetry declaration of a MatrixMarket header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmSymmetry {
+    General,
+    /// Only the lower triangle is stored; the matrix must be
+    /// numerically symmetric.
+    Symmetric,
+}
+
 /// Write a CSR matrix as `matrix coordinate real general`.
-pub fn write_matrix_market<W: Write>(a: &crate::Csr, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+pub fn write_matrix_market<W: Write>(a: &crate::Csr, w: W) -> std::io::Result<()> {
+    write_matrix_market_with(a, MmField::Real, MmSymmetry::General, w)
+}
+
+/// Write a CSR matrix with an explicit header.
+///
+/// Fails with `InvalidInput` if `Symmetric` is requested for a matrix
+/// that is not numerically symmetric, or `Integer` for a matrix with
+/// non-integral values — rather than silently writing a file that
+/// would not round-trip.
+pub fn write_matrix_market_with<W: Write>(
+    a: &crate::Csr,
+    field: MmField,
+    symmetry: MmSymmetry,
+    mut w: W,
+) -> std::io::Result<()> {
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+    if symmetry == MmSymmetry::Symmetric && (a.rows() != a.cols() || a.asymmetry() != 0.0) {
+        return Err(invalid(
+            "symmetric header requested for a non-symmetric matrix".into(),
+        ));
+    }
+    if field == MmField::Integer {
+        // Integral, finite, and exactly representable as i64 (every
+        // integral f64 below 2^63 is): anything else would be written
+        // saturated/garbled and break the round-trip guarantee.
+        let representable =
+            |v: f64| v.is_finite() && v.fract() == 0.0 && v.abs() < 9.223372036854776e18;
+        if let Some(v) = a.values().iter().find(|v| !representable(**v)) {
+            return Err(invalid(format!(
+                "integer header requested but value {v} is not an i64-representable integer"
+            )));
+        }
+    }
+    let (field_name, symmetry_name) = (
+        match field {
+            MmField::Real => "real",
+            MmField::Integer => "integer",
+        },
+        match symmetry {
+            MmSymmetry::General => "general",
+            MmSymmetry::Symmetric => "symmetric",
+        },
+    );
+    writeln!(
+        w,
+        "%%MatrixMarket matrix coordinate {field_name} {symmetry_name}"
+    )?;
     writeln!(w, "% written by the FRSZ2 reproduction workspace")?;
-    writeln!(w, "{} {} {}", a.rows(), a.cols(), a.nnz())?;
+    // For symmetric files only the lower triangle (r >= c) is stored,
+    // and the size line counts stored entries.
+    let keep = |r: usize, c: u32| symmetry == MmSymmetry::General || c as usize <= r;
+    let stored: usize = (0..a.rows())
+        .map(|i| {
+            let (cols, _) = a.row(i);
+            cols.iter().filter(|&&c| keep(i, c)).count()
+        })
+        .sum();
+    writeln!(w, "{} {} {}", a.rows(), a.cols(), stored)?;
     for i in 0..a.rows() {
         let (cols, vals) = a.row(i);
         for (c, v) in cols.iter().zip(vals) {
-            writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?;
+            if !keep(i, *c) {
+                continue;
+            }
+            match field {
+                MmField::Real => writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?,
+                MmField::Integer => writeln!(w, "{} {} {}", i + 1, c + 1, *v as i64)?,
+            }
         }
     }
     Ok(())
@@ -165,11 +244,76 @@ mod tests {
             "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",    // OOB
             "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",    // count
+            "%%MatrixMarket vector coordinate real general\n2 2 1\n1 1 1.0\n",    // not a matrix
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real\n2 2 1\n1 1 1.0\n", // short header
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n", // pattern
+            "%%MatrixMarket matrix coordinate real general\n",         // no size line
+            "%%MatrixMarket matrix coordinate real general\n2 2\n",    // short size line
+            "%%MatrixMarket matrix coordinate real general\n2 2 x\n",  // bad nnz
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", // missing value
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n", // bad value
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", // 0-based index
         ] {
             assert!(
                 read_matrix_market(BufReader::new(text.as_bytes())).is_err(),
                 "should reject: {text:?}"
             );
         }
+    }
+
+    #[test]
+    fn integer_symmetric_writer_roundtrip_and_header() {
+        // [ 2 -1  0]
+        // [-1  2 -1]    (symmetric, integral)
+        // [ 0 -1  2]
+        let mut m = crate::Coo::new(3, 3);
+        for i in 0..3 {
+            m.push(i, i, 2.0);
+            if i + 1 < 3 {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        let a = m.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market_with(&a, MmField::Integer, MmSymmetry::Symmetric, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate integer symmetric"));
+        // Only the 5 lower-triangle entries are stored.
+        assert!(text.contains("\n3 3 5\n"), "size line in:\n{text}");
+        let back = read_matrix_market(BufReader::new(&buf[..]))
+            .unwrap()
+            .to_csr();
+        assert_eq!(back.row_ptr(), a.row_ptr());
+        assert_eq!(back.col_indices(), a.col_indices());
+        assert_eq!(back.values(), a.values());
+    }
+
+    #[test]
+    fn writer_rejects_inconsistent_headers() {
+        let asym = crate::gen::conv_diff_3d(3, 3, 3, [0.4, 0.0, 0.0], 0.1);
+        assert!(asym.asymmetry() > 0.0, "test matrix must be asymmetric");
+        let err = write_matrix_market_with(&asym, MmField::Real, MmSymmetry::Symmetric, Vec::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+        let mut m = crate::Coo::new(2, 2);
+        m.push(0, 0, 1.5);
+        let frac = m.to_csr();
+        let err =
+            write_matrix_market_with(&frac, MmField::Integer, MmSymmetry::General, Vec::new())
+                .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+        // Integral but beyond i64: `as i64` would saturate and corrupt
+        // the round trip, so the writer must refuse.
+        let mut m = crate::Coo::new(2, 2);
+        m.push(0, 0, 1e19);
+        let huge = m.to_csr();
+        let err =
+            write_matrix_market_with(&huge, MmField::Integer, MmSymmetry::General, Vec::new())
+                .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 }

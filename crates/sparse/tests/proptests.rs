@@ -83,6 +83,88 @@ proptest! {
         prop_assert_eq!(a.values(), b.values());
     }
 
+    /// MatrixMarket symmetric/real: writing the lower triangle and
+    /// re-expanding on read is the identity on symmetric matrices.
+    #[test]
+    fn matrix_market_symmetric_real_roundtrip(trips in triplets(8)) {
+        // Accumulate densely so each coordinate is summed in one fixed
+        // order: duplicate triplets would otherwise be summed in
+        // sort-dependent order, breaking exact (bitwise) symmetry.
+        let mut d = [[0.0f64; 8]; 8];
+        for &(r, c, v) in &trips {
+            d[r][c] += v;
+            d[c][r] += v;
+        }
+        let mut coo = Coo::new(8, 8);
+        for (r, row) in d.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        prop_assert_eq!(a.asymmetry(), 0.0);
+        let mut buf = Vec::new();
+        io::write_matrix_market_with(&a, io::MmField::Real, io::MmSymmetry::Symmetric, &mut buf)
+            .unwrap();
+        let header = String::from_utf8(buf.clone()).unwrap();
+        prop_assert!(header.starts_with("%%MatrixMarket matrix coordinate real symmetric"));
+        let b = io::read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        prop_assert_eq!(a.row_ptr(), b.row_ptr());
+        prop_assert_eq!(a.col_indices(), b.col_indices());
+        prop_assert_eq!(a.values(), b.values());
+    }
+
+    /// MatrixMarket integer/general round trip is exact.
+    #[test]
+    fn matrix_market_integer_general_roundtrip(
+        trips in prop::collection::vec((0..8usize, 0..8usize, -50i64..50), 0..60),
+    ) {
+        let mut coo = Coo::new(8, 8);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v as f64);
+        }
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market_with(&a, io::MmField::Integer, io::MmSymmetry::General, &mut buf)
+            .unwrap();
+        let header = String::from_utf8(buf.clone()).unwrap();
+        prop_assert!(header.starts_with("%%MatrixMarket matrix coordinate integer general"));
+        let b = io::read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        prop_assert_eq!(a.row_ptr(), b.row_ptr());
+        prop_assert_eq!(a.col_indices(), b.col_indices());
+        prop_assert_eq!(a.values(), b.values());
+    }
+
+    /// MatrixMarket symmetric/integer round trip is exact.
+    #[test]
+    fn matrix_market_symmetric_integer_roundtrip(
+        lower in prop::collection::vec((0..8usize, 0..8usize, -50i64..50), 0..40),
+    ) {
+        let mut coo = Coo::new(8, 8);
+        for &(r, c, v) in &lower {
+            let (r, c) = if r >= c { (r, c) } else { (c, r) };
+            coo.push(r, c, v as f64);
+            if r != c {
+                coo.push(c, r, v as f64);
+            }
+        }
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market_with(
+            &a,
+            io::MmField::Integer,
+            io::MmSymmetry::Symmetric,
+            &mut buf,
+        )
+        .unwrap();
+        let b = io::read_matrix_market(BufReader::new(&buf[..])).unwrap().to_csr();
+        prop_assert_eq!(a.row_ptr(), b.row_ptr());
+        prop_assert_eq!(a.col_indices(), b.col_indices());
+        prop_assert_eq!(a.values(), b.values());
+    }
+
     /// dot/axpy/norm2 satisfy basic algebraic identities.
     #[test]
     fn vector_kernel_identities(

@@ -240,6 +240,66 @@ fn preconditioned_solve_reaches_tighter_targets() {
 }
 
 #[test]
+fn cb_gmres_bit_identical_across_thread_counts() {
+    // The determinism contract end to end: the full CB-GMRES solve with
+    // the paper's non-word-aligned l = 21 basis must produce the exact
+    // same residual history and iteration count whether the kernels run
+    // on 1, 2, or 8 threads. Chunk boundaries (and therefore every
+    // floating-point reduction order) are fixed independently of the
+    // thread count, so any divergence here is a scheduling bug.
+    let a = gen::conv_diff_3d(12, 12, 12, [0.4, 0.2, 0.1], 0.2);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-10);
+    let cfg = Frsz2Config::new(32, 21);
+    let solve = || {
+        gmres_with(&a, &b, &x0, &opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        })
+    };
+
+    let baseline = solve();
+    assert!(baseline.stats.converged, "baseline solve must converge");
+    assert!(
+        !baseline.history.is_empty(),
+        "history must be recorded for the comparison to mean anything"
+    );
+    for threads in [1, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let r = pool.install(solve);
+        assert_eq!(
+            r.stats.iterations, baseline.stats.iterations,
+            "iteration count diverged at {threads} threads"
+        );
+        assert_eq!(
+            r.stats.final_rrn.to_bits(),
+            baseline.stats.final_rrn.to_bits(),
+            "final residual diverged at {threads} threads"
+        );
+        assert_eq!(r.history.len(), baseline.history.len());
+        for (p, q) in r.history.iter().zip(&baseline.history) {
+            assert_eq!(p.iteration, q.iteration);
+            assert_eq!(
+                p.rrn.to_bits(),
+                q.rrn.to_bits(),
+                "residual history diverged at iteration {} with {threads} threads",
+                p.iteration
+            );
+        }
+        for (x1, x2) in r.x.iter().zip(&baseline.x) {
+            assert_eq!(
+                x1.to_bits(),
+                x2.to_bits(),
+                "solution vector diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn solver_histories_are_reproducible_across_runs() {
     let m = suite::build("atmosmodd", 0.2).unwrap();
     let (_, b) = manufactured_rhs(&m.matrix);

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: an exact size or a range.
+/// Length specification for [`vec()`]: an exact size or a range.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,

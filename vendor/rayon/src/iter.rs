@@ -1,0 +1,538 @@
+//! Parallel iterators over splittable sources.
+//!
+//! Every parallel iterator is a [`TaskSource`]: a fixed number of items
+//! that can be produced for any contiguous sub-range independently.
+//! Adaptors (`map`, `enumerate`, `zip`, `filter`) wrap a source and
+//! forward range requests; terminal operations cut the item range into
+//! tasks (boundaries depend only on the item count and the
+//! `with_min_len` hint — never the thread count), execute the tasks on
+//! the pool, and combine per-task results in task order. See
+//! `pool.rs` for the determinism contract.
+
+use crate::pool::run_ordered;
+use std::marker::PhantomData;
+
+/// Cap on tasks per operation: enough for load balance on any
+/// plausible thread count, few enough that per-task overhead (one
+/// atomic claim + one slot write) stays negligible. A constant — task
+/// boundaries must not depend on the thread count.
+const MAX_TASKS: usize = 256;
+
+/// A source of `items()` independent items, any contiguous range of
+/// which can be produced on any thread.
+///
+/// # Safety
+///
+/// Implementations may hand out `&mut` borrows derived from a shared
+/// `&self` (e.g. disjoint sub-slices of one `&mut [T]`). The executor
+/// guarantees that concurrent `task` calls receive **disjoint** item
+/// ranges; implementations in turn must ensure that disjoint item
+/// ranges never alias.
+pub unsafe trait TaskSource: Sync {
+    type Item: Send;
+    type TaskIter<'a>: Iterator<Item = Self::Item>
+    where
+        Self: 'a;
+
+    /// Total number of items.
+    fn items(&self) -> usize;
+
+    /// Produce items `start .. start + len` (clamped to `items()`).
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_>;
+}
+
+/// Fixed task layout: `(items_per_task, n_tasks)` as a function of the
+/// item count and minimum-length hint only.
+fn task_layout(items: usize, min_items: usize) -> (usize, usize) {
+    let per = items.div_ceil(MAX_TASKS).max(min_items).max(1);
+    (per, items.div_ceil(per))
+}
+
+/// A parallel iterator: a [`TaskSource`] plus tuning hints.
+pub struct Par<S> {
+    src: S,
+    min_task_items: usize,
+}
+
+impl<S: TaskSource> Par<S> {
+    pub(crate) fn new(src: S) -> Self {
+        Par {
+            src,
+            min_task_items: 1,
+        }
+    }
+
+    /// Lower bound on items per task (rayon's tuning hint). Larger
+    /// values amortize per-task overhead when single items are cheap.
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_task_items = self.min_task_items.max(len.max(1));
+        self
+    }
+
+    pub fn map<O, F>(self, f: F) -> Par<MapSrc<S, F>>
+    where
+        O: Send,
+        F: Fn(S::Item) -> O + Sync,
+    {
+        Par {
+            src: MapSrc { src: self.src, f },
+            min_task_items: self.min_task_items,
+        }
+    }
+
+    pub fn enumerate(self) -> Par<EnumerateSrc<S>> {
+        Par {
+            src: EnumerateSrc { src: self.src },
+            min_task_items: self.min_task_items,
+        }
+    }
+
+    pub fn zip<T: TaskSource>(self, other: Par<T>) -> Par<ZipSrc<S, T>> {
+        Par {
+            src: ZipSrc {
+                a: self.src,
+                b: other.src,
+            },
+            min_task_items: self.min_task_items.max(other.min_task_items),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> Par<FilterSrc<S, F>>
+    where
+        F: Fn(&S::Item) -> bool + Sync,
+    {
+        Par {
+            src: FilterSrc { src: self.src, f },
+            min_task_items: self.min_task_items,
+        }
+    }
+
+    /// Run `consumer` once per task over that task's items, returning
+    /// per-task results in task order.
+    fn drive<R, C>(&self, consumer: C) -> Vec<R>
+    where
+        R: Send,
+        C: for<'a> Fn(S::TaskIter<'a>) -> R + Sync,
+    {
+        let items = self.src.items();
+        let (per, n_tasks) = task_layout(items, self.min_task_items);
+        let src = &self.src;
+        run_ordered(n_tasks, move |t| {
+            let start = t * per;
+            consumer(src.task(start, per.min(items - start)))
+        })
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        self.drive(|iter| iter.for_each(&f));
+    }
+
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        self.drive(|iter| iter.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Rayon-style reduce: `identity` produces the unit of `op`, which
+    /// must be associative for the result to equal a sequential fold
+    /// (it is *deterministic* regardless: task boundaries are fixed and
+    /// partials combine in task order).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
+    {
+        self.drive(|iter| iter.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<S::Item> + std::iter::Sum<T> + Send,
+    {
+        self.drive(|iter| iter.sum::<T>()).into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.drive(|iter| iter.count()).into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Base sources.
+// ---------------------------------------------------------------------
+
+/// `par_chunks`: items are `&[T]` windows of a shared slice.
+pub struct ChunksSrc<'d, T> {
+    data: &'d [T],
+    chunk: usize,
+}
+
+// SAFETY: items are shared borrows; disjointness is irrelevant.
+unsafe impl<'d, T: Sync> TaskSource for ChunksSrc<'d, T> {
+    type Item = &'d [T];
+    type TaskIter<'a>
+        = std::slice::Chunks<'d, T>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.data.len().div_ceil(self.chunk)
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let lo = (start * self.chunk).min(self.data.len());
+        let hi = (start.saturating_add(len) * self.chunk).min(self.data.len());
+        self.data[lo..hi].chunks(self.chunk)
+    }
+}
+
+/// `par_chunks_mut`: items are `&mut [T]` windows of one exclusive
+/// slice, handed out through a shared `&self`.
+pub struct ChunksMutSrc<'d, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'d mut [T]>,
+}
+
+// SAFETY: the source only dereferences `ptr` inside `task`, which
+// produces disjoint sub-slices for the disjoint ranges the executor
+// requests; `T: Send` makes moving those `&mut` borrows across threads
+// sound.
+unsafe impl<T: Send> Sync for ChunksMutSrc<'_, T> {}
+
+// SAFETY: `task` carves non-overlapping `[lo, hi)` element windows out
+// of the original slice for disjoint item ranges, so no two live
+// `&mut [T]` alias.
+unsafe impl<'d, T: Send> TaskSource for ChunksMutSrc<'d, T> {
+    type Item = &'d mut [T];
+    type TaskIter<'a>
+        = std::slice::ChunksMut<'d, T>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let lo = (start * self.chunk).min(self.len);
+        let hi = (start.saturating_add(len) * self.chunk).min(self.len);
+        // SAFETY: `[lo, hi)` lies within the original slice, and the
+        // executor never requests overlapping item ranges concurrently.
+        let sub = unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) };
+        sub.chunks_mut(self.chunk)
+    }
+}
+
+/// `par_iter`: items are `&T`.
+pub struct IterSrc<'d, T> {
+    data: &'d [T],
+}
+
+// SAFETY: shared borrows only.
+unsafe impl<'d, T: Sync> TaskSource for IterSrc<'d, T> {
+    type Item = &'d T;
+    type TaskIter<'a>
+        = std::slice::Iter<'d, T>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.data.len()
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let lo = start.min(self.data.len());
+        let hi = start.saturating_add(len).min(self.data.len());
+        self.data[lo..hi].iter()
+    }
+}
+
+/// `par_iter_mut`: items are `&mut T` of one exclusive slice.
+pub struct IterMutSrc<'d, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'d mut [T]>,
+}
+
+// SAFETY: as for `ChunksMutSrc`.
+unsafe impl<T: Send> Sync for IterMutSrc<'_, T> {}
+
+// SAFETY: disjoint item ranges map to disjoint element windows.
+unsafe impl<'d, T: Send> TaskSource for IterMutSrc<'d, T> {
+    type Item = &'d mut T;
+    type TaskIter<'a>
+        = std::slice::IterMut<'d, T>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.len
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let lo = start.min(self.len);
+        let hi = start.saturating_add(len).min(self.len);
+        // SAFETY: in-bounds, and ranges from the executor are disjoint.
+        let sub = unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) };
+        sub.iter_mut()
+    }
+}
+
+/// `(a..b).into_par_iter()`.
+pub struct RangeSrc {
+    start: usize,
+    len: usize,
+}
+
+// SAFETY: items are owned values.
+unsafe impl TaskSource for RangeSrc {
+    type Item = usize;
+    type TaskIter<'a> = std::ops::Range<usize>;
+
+    fn items(&self) -> usize {
+        self.len
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let lo = start.min(self.len);
+        let hi = start.saturating_add(len).min(self.len);
+        (self.start + lo)..(self.start + hi)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------
+
+pub struct MapSrc<S, F> {
+    src: S,
+    f: F,
+}
+
+// SAFETY: forwards ranges unchanged to the inner source.
+unsafe impl<S, O, F> TaskSource for MapSrc<S, F>
+where
+    S: TaskSource,
+    O: Send,
+    F: Fn(S::Item) -> O + Sync,
+{
+    type Item = O;
+    type TaskIter<'a>
+        = std::iter::Map<S::TaskIter<'a>, &'a F>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.src.items()
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        self.src.task(start, len).map(&self.f)
+    }
+}
+
+pub struct EnumerateSrc<S> {
+    src: S,
+}
+
+pub struct EnumTaskIter<I> {
+    inner: I,
+    idx: usize,
+}
+
+impl<I: Iterator> Iterator for EnumTaskIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.idx;
+        self.idx += 1;
+        Some((i, item))
+    }
+}
+
+// SAFETY: forwards ranges unchanged; indices are global item positions.
+unsafe impl<S: TaskSource> TaskSource for EnumerateSrc<S> {
+    type Item = (usize, S::Item);
+    type TaskIter<'a>
+        = EnumTaskIter<S::TaskIter<'a>>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.src.items()
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        EnumTaskIter {
+            inner: self.src.task(start, len),
+            idx: start,
+        }
+    }
+}
+
+pub struct ZipSrc<A, B> {
+    a: A,
+    b: B,
+}
+
+// SAFETY: forwards the same range to both sources.
+unsafe impl<A: TaskSource, B: TaskSource> TaskSource for ZipSrc<A, B> {
+    type Item = (A::Item, B::Item);
+    type TaskIter<'a>
+        = std::iter::Zip<A::TaskIter<'a>, B::TaskIter<'a>>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.a.items().min(self.b.items())
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        let len = len.min(self.items().saturating_sub(start));
+        self.a.task(start, len).zip(self.b.task(start, len))
+    }
+}
+
+pub struct FilterSrc<S, F> {
+    src: S,
+    f: F,
+}
+
+// SAFETY: forwards ranges unchanged (tasks simply yield fewer items).
+unsafe impl<S, F> TaskSource for FilterSrc<S, F>
+where
+    S: TaskSource,
+    F: Fn(&S::Item) -> bool + Sync,
+{
+    type Item = S::Item;
+    type TaskIter<'a>
+        = std::iter::Filter<S::TaskIter<'a>, &'a F>
+    where
+        Self: 'a;
+
+    fn items(&self) -> usize {
+        self.src.items()
+    }
+
+    fn task(&self, start: usize, len: usize) -> Self::TaskIter<'_> {
+        self.src.task(start, len).filter(&self.f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits (the `prelude`).
+// ---------------------------------------------------------------------
+
+/// `into_par_iter()` for owned sources (ranges).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Source: TaskSource<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Source>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Source = RangeSrc;
+
+    fn into_par_iter(self) -> Par<RangeSrc> {
+        Par::new(RangeSrc {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
+    }
+}
+
+/// `par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'d> {
+    type Item: Send;
+    type Source: TaskSource<Item = Self::Item>;
+    fn par_iter(&'d self) -> Par<Self::Source>;
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Item = &'d T;
+    type Source = IterSrc<'d, T>;
+
+    fn par_iter(&'d self) -> Par<IterSrc<'d, T>> {
+        Par::new(IterSrc { data: self })
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Item = &'d T;
+    type Source = IterSrc<'d, T>;
+
+    fn par_iter(&'d self) -> Par<IterSrc<'d, T>> {
+        Par::new(IterSrc { data: self })
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'d> {
+    type Item: Send;
+    type Source: TaskSource<Item = Self::Item>;
+    fn par_iter_mut(&'d mut self) -> Par<Self::Source>;
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for [T] {
+    type Item = &'d mut T;
+    type Source = IterMutSrc<'d, T>;
+
+    fn par_iter_mut(&'d mut self) -> Par<IterMutSrc<'d, T>> {
+        Par::new(IterMutSrc {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for Vec<T> {
+    type Item = &'d mut T;
+    type Source = IterMutSrc<'d, T>;
+
+    fn par_iter_mut(&'d mut self) -> Par<IterMutSrc<'d, T>> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSrc<'_, T>>;
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSrc<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par::new(ChunksSrc {
+            data: self,
+            chunk: chunk_size,
+        })
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par::new(ChunksMutSrc {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            _marker: PhantomData,
+        })
+    }
+}

@@ -1,0 +1,408 @@
+//! The execution engine: a persistent `std::thread` pool that deals
+//! fixed-boundary tasks to whichever thread is free.
+//!
+//! A parallel operation is published as an [`Op`]: a task count plus a
+//! shared closure. Threads (workers *and* the calling thread, which
+//! always participates) claim task indices through an atomic cursor
+//! ("chunk dealing" — the dynamic self-scheduling analogue of
+//! work-stealing for pre-split iterations), so load imbalance between
+//! tasks is absorbed without any thread ever idling while work remains.
+//!
+//! Determinism contract: task *boundaries* are computed from the item
+//! count and the `with_min_len` hint only — never from the thread count
+//! — and per-task results are combined in task order on the calling
+//! thread. Non-associative combinations (floating-point sums) therefore
+//! produce bit-identical results at any thread count.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One in-flight parallel operation.
+struct Op {
+    /// The task body. The `'static` lifetime is a lie told to the
+    /// borrow checker: [`PoolRef::run`] does not return until every
+    /// task has completed, and exhausted ops are never re-entered, so
+    /// the reference never dangles while dereferenced.
+    run: &'static (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    /// Next unclaimed task index (may overshoot `n_tasks`).
+    next: AtomicUsize,
+    /// Completed-task count; the caller blocks until it reaches
+    /// `n_tasks`.
+    completed: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload from any task, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Op {
+    /// Claim and run tasks until the cursor is exhausted. Never
+    /// unwinds: task panics are captured for the caller to re-raise.
+    fn work(&self) {
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= self.n_tasks {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run)(t))) {
+                let mut p = self.panic.lock().unwrap();
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+            }
+            let mut c = self.completed.lock().unwrap();
+            *c += 1;
+            if *c == self.n_tasks {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// State shared between a pool's workers and every handle to it.
+struct Shared {
+    /// Ops with unclaimed tasks (almost always zero or one deep; nested
+    /// parallelism can stack more).
+    queue: Mutex<Vec<Arc<Op>>>,
+    /// Signalled when an op is published or shutdown is requested.
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A cheap handle to a pool: thread count plus the shared queue.
+#[derive(Clone)]
+pub(crate) struct PoolRef {
+    pub(crate) threads: usize,
+    shared: Arc<Shared>,
+}
+
+impl PoolRef {
+    /// Execute `f(0..n_tasks)` across the pool, returning when every
+    /// task has finished. Panics from tasks are propagated.
+    pub(crate) fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // SAFETY: `run` waits for all tasks to complete before
+        // returning (see the completion loop below), and removes the op
+        // from the queue so no thread re-enters it; the closure is
+        // therefore never dereferenced after it goes out of scope.
+        let run: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let op = Arc::new(Op {
+            run,
+            n_tasks,
+            next: AtomicUsize::new(0),
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.shared.queue.lock().unwrap().push(op.clone());
+        self.shared.available.notify_all();
+        // The caller deals itself tasks like any worker: progress is
+        // guaranteed even if every worker is busy elsewhere.
+        op.work();
+        let mut c = op.completed.lock().unwrap();
+        while *c < op.n_tasks {
+            c = op.done.wait(c).unwrap();
+        }
+        drop(c);
+        self.shared
+            .queue
+            .lock()
+            .unwrap()
+            .retain(|o| !Arc::ptr_eq(o, &op));
+        let payload = op.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(pool: PoolRef) {
+    CURRENT.with(|c| c.borrow_mut().push(pool.clone()));
+    loop {
+        let op = {
+            let mut q = pool.shared.queue.lock().unwrap();
+            loop {
+                if pool.shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(op) = q
+                    .iter()
+                    .find(|o| o.next.load(Ordering::Relaxed) < o.n_tasks)
+                {
+                    break op.clone();
+                }
+                q = pool.shared.available.wait(q).unwrap();
+            }
+        };
+        op.work();
+    }
+}
+
+/// Spawn a pool with `threads` total threads (the calling thread counts
+/// as one, so `threads - 1` workers are created).
+fn build_pool(threads: usize, name: &str) -> (PoolRef, Vec<std::thread::JoinHandle<()>>) {
+    let pool = PoolRef {
+        threads,
+        shared: Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }),
+    };
+    let handles = (0..threads.saturating_sub(1))
+        .map(|i| {
+            let p = pool.clone();
+            std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("failed to spawn pool worker")
+        })
+        .collect();
+    (pool, handles)
+}
+
+/// Thread count of the global pool: `FRSZ2_NUM_THREADS`, then
+/// `RAYON_NUM_THREADS`, then the machine's available parallelism.
+fn default_threads() -> usize {
+    for var in ["FRSZ2_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn global() -> &'static PoolRef {
+    static GLOBAL: OnceLock<PoolRef> = OnceLock::new();
+    GLOBAL.get_or_init(|| build_pool(default_threads(), "rayon-global").0)
+}
+
+thread_local! {
+    /// Stack of installed pools; the top one services parallel ops
+    /// issued from this thread. Workers seed it with their own pool so
+    /// nested parallelism stays inside one pool.
+    static CURRENT: RefCell<Vec<PoolRef>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn current_pool() -> PoolRef {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(|| global().clone())
+}
+
+/// Number of threads (workers + caller) serving parallel operations
+/// issued from the current thread.
+pub fn current_num_threads() -> usize {
+    current_pool().threads
+}
+
+/// Builder for an explicitly-sized [`ThreadPool`] (mirrors rayon's).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Construction cannot
+/// currently fail, but the type mirrors rayon's fallible signature so
+/// call sites stay swap-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Total threads in the pool; `0` (the default) means the global
+    /// default (env-var override, then the core count).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        let (pool, handles) = build_pool(threads, "rayon-pool");
+        Ok(ThreadPool { pool, handles })
+    }
+}
+
+/// An explicitly-built pool. [`ThreadPool::install`] routes parallel
+/// operations issued from the closure (on this thread) to this pool.
+pub struct ThreadPool {
+    pool: PoolRef,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool installed as the current pool. Unlike
+    /// real rayon, `op` executes on the calling thread (which
+    /// participates in the pool's work); semantics of the parallel
+    /// operations inside are identical.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        CURRENT.with(|c| c.borrow_mut().push(self.pool.clone()));
+        let _guard = PopGuard;
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.pool.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.pool.shared.shutdown.store(true, Ordering::Relaxed);
+        self.pool.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.threads == 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    pool.run(2, &|t| {
+        if t == 0 {
+            let f = fa.lock().unwrap().take().unwrap();
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = fb.lock().unwrap().take().unwrap();
+            *rb.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        ra.into_inner().unwrap().unwrap(),
+        rb.into_inner().unwrap().unwrap(),
+    )
+}
+
+type ScopeJob<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// Scope for spawning borrowed tasks; see [`scope`].
+pub struct Scope<'scope> {
+    jobs: Mutex<Vec<ScopeJob<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `f` to run before `scope` returns. Spawned tasks may spawn
+    /// further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.jobs.lock().unwrap().push(Box::new(f));
+    }
+}
+
+/// Create a scope in which tasks borrowing the caller's stack can be
+/// spawned; all spawned tasks complete before `scope` returns.
+///
+/// Scheduling note: tasks spawned while `op` runs start only after `op`
+/// returns (batches of spawned tasks then execute in parallel). Rayon
+/// makes no ordering guarantee between `op` and its spawns, so this is
+/// a legal — just less eager — schedule.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let result = op(&s);
+    loop {
+        let batch = std::mem::take(&mut *s.jobs.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        let pool = current_pool();
+        if pool.threads == 1 || batch.len() == 1 {
+            for job in batch {
+                job(&s);
+            }
+        } else {
+            let slots: Vec<Mutex<Option<ScopeJob<'_>>>> =
+                batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            pool.run(slots.len(), &|t| {
+                let job = slots[t].lock().unwrap().take().unwrap();
+                job(&s);
+            });
+        }
+    }
+    result
+}
+
+/// Execute `n_tasks` closures and return their results in task order.
+/// The backbone of every parallel-iterator operation: task boundaries
+/// are chosen by the caller (thread-count independent), execution order
+/// is arbitrary, combination order is fixed.
+pub(crate) fn run_ordered<R, F>(n_tasks: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let pool = current_pool();
+    if n_tasks == 1 || pool.threads == 1 {
+        return (0..n_tasks).map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    pool.run(n_tasks, &|t| {
+        let r = task(t);
+        *slots[t].lock().unwrap() = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("pool task did not complete"))
+        .collect()
+}
