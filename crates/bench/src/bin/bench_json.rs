@@ -1,7 +1,8 @@
 //! Machine-readable perf harness: times the three paper-critical paths
-//! (CSR SpMV, FRSZ2 codec round-trip, one CB-GMRES solve) at explicit
-//! thread counts and emits schema-stable `BENCH_<name>.json` files plus
-//! a combined `results/bench_json.csv`.
+//! (SpMV in every sparse format, FRSZ2 codec round-trip, CB-GMRES
+//! solves on CSR and on the auto-selected format) at explicit thread
+//! counts and emits schema-stable `BENCH_<name>.json` files plus a
+//! combined `results/bench_json.csv`.
 //!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
@@ -10,17 +11,19 @@
 //!
 //! Every case records a **fingerprint** (FNV-1a over the bit patterns
 //! of its numeric output); the harness exits non-zero if any case's
-//! fingerprint differs between thread counts, so the determinism
-//! contract is enforced wherever the benches run — including CI's
-//! `bench-smoke` job, which also validates the JSON schema with
-//! `--validate`. See `bench::json` for the schema.
+//! fingerprint differs between thread counts, *or* between sparse
+//! matrix formats running the same computation (`spmv_csr` vs
+//! `spmv_ell` vs `spmv_sell`; `cb_gmres_frsz2_21` vs
+//! `cb_gmres_frsz2_21_auto`). Both contracts are enforced wherever the
+//! benches run — including CI's `bench-smoke` job, which also
+//! validates the JSON schema with `--validate`. See `bench::json` for
+//! the schema.
 
 use bench::json::{self, Json};
 use bench::report;
 use frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
 use krylov::{gmres_with, GmresOptions, Identity, SolveResult};
-use spla::gen;
-use spla::Csr;
+use spla::{auto_format, gen, Ell, SellCSigma, SparseMatrix};
 use std::time::Instant;
 
 struct Args {
@@ -200,6 +203,41 @@ fn enforce_determinism(bench: &str, cases: &[CaseResult]) {
     }
 }
 
+/// Fail the run (exit 1) if cases of the named group — the same
+/// computation on different sparse formats — disagree on any
+/// fingerprint. Together with [`enforce_determinism`] this pins the
+/// output bits across *both* axes: thread count and matrix format.
+fn enforce_cross_format(bench: &str, group: &[&str], cases: &[CaseResult]) {
+    // A renamed case or group-list typo must not silently disable the
+    // guard: every group member must actually be present and compared.
+    for name in group {
+        assert!(
+            cases.iter().any(|c| c.name == *name),
+            "cross-format group member {name} produced no cases in {bench}"
+        );
+    }
+    let reference: Vec<&CaseResult> = cases.iter().filter(|c| c.name == group[0]).collect();
+    for c in cases.iter().filter(|c| group.contains(&c.name.as_str())) {
+        let r = reference
+            .iter()
+            .find(|r| r.threads == c.threads)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{bench}/{}: no {} reference measurement at {} threads",
+                    c.name, group[0], c.threads
+                )
+            });
+        if c.fingerprint != r.fingerprint {
+            eprintln!(
+                "CROSS-FORMAT DIVERGENCE in {bench}: {} fingerprint {} at {} threads \
+                 differs from {} ({})",
+                c.name, c.fingerprint, c.threads, group[0], r.fingerprint
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn emit_doc(
     bench: &str,
     quick: bool,
@@ -243,37 +281,51 @@ fn emit_doc(
 // The three suites.
 // ---------------------------------------------------------------------
 
-/// SpMV on a convection–diffusion operator (≥ 1M nnz in full mode).
+/// SpMV on a convection–diffusion operator (≥ 1M nnz in full mode),
+/// measured once per sparse format (CSR / ELL / SELL-C-σ). All three
+/// formats must produce bit-identical output — the harness exits
+/// non-zero on any cross-format fingerprint divergence (see
+/// [`enforce_cross_format`]).
 fn bench_spmv(args: &Args) -> (Json, Vec<CaseResult>) {
     let s = if args.quick { 24 } else { 56 };
     let a = gen::conv_diff_3d(s, s, s, [0.4, 0.2, 0.1], 0.2);
+    let auto = auto_format(&a);
+    let ell = Ell::from_csr(&a);
+    let sell = SellCSigma::from_csr(&a, 32, 256);
+    let formats: [(&str, &dyn SparseMatrix); 3] =
+        [("spmv_csr", &a), ("spmv_ell", &ell), ("spmv_sell", &sell)];
     let x: Vec<f64> = (0..a.cols()).map(|i| ((i as f64) * 0.37).sin()).collect();
     let mut y = vec![0.0; a.rows()];
-    let bytes = a.spmv_bytes();
     let mut cases = Vec::new();
-    for &threads in &args.threads {
-        let samples = time_under_pool(threads, args.runs, || a.spmv(&x, &mut y));
-        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
-        cases.push(CaseResult {
-            name: "spmv_csr".into(),
-            threads,
-            runs: args.runs,
-            min_ms,
-            median_ms,
-            mean_ms,
-            metrics: vec![
-                ("nnz".into(), a.nnz() as f64),
-                ("rows".into(), a.rows() as f64),
-                ("gbps".into(), bytes as f64 / (min_ms * 1e-3) / 1e9),
-            ],
-            fingerprint: fingerprint_f64s(&y),
-        });
+    for (name, m) in formats {
+        let bytes = m.spmv_bytes();
+        for &threads in &args.threads {
+            let samples = time_under_pool(threads, args.runs, || m.spmv(&x, &mut y));
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            cases.push(CaseResult {
+                name: name.into(),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("nnz".into(), m.nnz() as f64),
+                    ("rows".into(), m.rows() as f64),
+                    ("storage_bytes".into(), m.storage_bytes() as f64),
+                    ("gbps".into(), bytes as f64 / (min_ms * 1e-3) / 1e9),
+                ],
+                fingerprint: fingerprint_f64s(&y),
+            });
+        }
     }
+    enforce_cross_format("spmv", &["spmv_csr", "spmv_ell", "spmv_sell"], &cases);
     let config = vec![
         ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
         ("rows", Json::Num(a.rows() as f64)),
         ("nnz", Json::Num(a.nnz() as f64)),
-        ("bytes_per_spmv", Json::Num(bytes as f64)),
+        ("bytes_per_spmv", Json::Num(a.spmv_bytes() as f64)),
+        ("auto_format", Json::Str(auto.name().into())),
     ];
     (
         emit_doc("spmv", args.quick, config, &cases, "spmv_csr"),
@@ -327,11 +379,16 @@ fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
     )
 }
 
-/// One CB-GMRES solve with the paper's `l = 21` compressed basis on the
-/// convection–diffusion system.
+/// CB-GMRES solves with the paper's `l = 21` compressed basis on the
+/// convection–diffusion system: once on CSR, once on the auto-selected
+/// sparse format. The two cases must produce bit-identical residual
+/// histories (the `SparseMatrix` bit-identity contract), enforced by
+/// [`enforce_cross_format`].
 fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
     let s = if args.quick { 12 } else { 20 };
     let a = gen::conv_diff_3d(s, s, s, [0.4, 0.2, 0.1], 0.2);
+    let auto = auto_format(&a);
+    let auto_matrix = auto.build(&a);
     let (_, b) = spla::dense::manufactured_rhs(&a);
     let x0 = vec![0.0; a.rows()];
     let opts = GmresOptions {
@@ -342,42 +399,55 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
         ..GmresOptions::default()
     };
     let cfg = Frsz2Config::new(32, 21);
-    let solve = |a: &Csr| -> SolveResult {
+    let solve = |a: &dyn SparseMatrix| -> SolveResult {
         gmres_with(a, &b, &x0, &opts, &Identity, |rows, cols| {
             Frsz2Store::with_config(cfg, rows, cols)
         })
     };
+    let operators: [(&str, &dyn SparseMatrix); 2] = [
+        ("cb_gmres_frsz2_21", &a),
+        ("cb_gmres_frsz2_21_auto", auto_matrix.as_ref()),
+    ];
     let mut cases = Vec::new();
-    for &threads in &args.threads {
-        let mut last: Option<SolveResult> = None;
-        let samples = time_under_pool(threads, args.runs, || last = Some(solve(&a)));
-        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
-        let r = last.expect("at least one solve ran");
-        assert!(r.stats.converged, "solve failed to converge");
-        let mut h = Fnv::new();
-        h.push(r.stats.iterations as u64);
-        for point in &r.history {
-            h.push(point.rrn.to_bits());
+    for (name, op) in operators {
+        for &threads in &args.threads {
+            let mut last: Option<SolveResult> = None;
+            let samples = time_under_pool(threads, args.runs, || last = Some(solve(op)));
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            let r = last.expect("at least one solve ran");
+            assert!(r.stats.converged, "solve failed to converge");
+            let mut h = Fnv::new();
+            h.push(r.stats.iterations as u64);
+            for point in &r.history {
+                h.push(point.rrn.to_bits());
+            }
+            cases.push(CaseResult {
+                name: name.into(),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("iterations".into(), r.stats.iterations as f64),
+                    ("final_rrn".into(), r.stats.final_rrn),
+                    ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
+                ],
+                fingerprint: h.hex(),
+            });
         }
-        cases.push(CaseResult {
-            name: "cb_gmres_frsz2_21".into(),
-            threads,
-            runs: args.runs,
-            min_ms,
-            median_ms,
-            mean_ms,
-            metrics: vec![
-                ("iterations".into(), r.stats.iterations as f64),
-                ("final_rrn".into(), r.stats.final_rrn),
-                ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
-            ],
-            fingerprint: h.hex(),
-        });
     }
+    // Residual histories must not depend on the matrix format.
+    enforce_cross_format(
+        "solve",
+        &["cb_gmres_frsz2_21", "cb_gmres_frsz2_21_auto"],
+        &cases,
+    );
     let config = vec![
         ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
         ("rows", Json::Num(a.rows() as f64)),
         ("format", Json::Str("frsz2_21".into())),
+        ("auto_format", Json::Str(auto.name().into())),
         ("target_rrn", Json::Num(1e-10)),
     ];
     (

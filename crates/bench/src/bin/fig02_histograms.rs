@@ -16,7 +16,7 @@ fn main() {
     let p = prepare("atmosmodd", &cli);
 
     for (label, iteration) in [("first-iterations", 1usize), ("late-iterations", 60)] {
-        let snap = krylov_snapshot::<DenseStore<f64>>(&p.matrix, &p.b, iteration, 41)
+        let snap = krylov_snapshot::<DenseStore<f64>, _>(&p.matrix, &p.b, iteration, 41)
             .expect("solver must reach the capture iteration");
         println!("\n=== Krylov basis vector at iteration {iteration} ({label}) ===");
         let (core, total) = snap.exponent_concentration;

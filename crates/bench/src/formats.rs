@@ -90,10 +90,10 @@ pub fn solve(
     spec: &FormatSpec,
 ) -> SolveResult {
     match spec {
-        FormatSpec::F64 => gmres::<DenseStore<f64>, _>(a, b, x0, opts, &Identity),
-        FormatSpec::F32 => gmres::<DenseStore<f32>, _>(a, b, x0, opts, &Identity),
-        FormatSpec::F16 => gmres::<DenseStore<F16>, _>(a, b, x0, opts, &Identity),
-        FormatSpec::BF16 => gmres::<DenseStore<BF16>, _>(a, b, x0, opts, &Identity),
+        FormatSpec::F64 => gmres::<DenseStore<f64>, _, _>(a, b, x0, opts, &Identity),
+        FormatSpec::F32 => gmres::<DenseStore<f32>, _, _>(a, b, x0, opts, &Identity),
+        FormatSpec::F16 => gmres::<DenseStore<F16>, _, _>(a, b, x0, opts, &Identity),
+        FormatSpec::BF16 => gmres::<DenseStore<BF16>, _, _>(a, b, x0, opts, &Identity),
         FormatSpec::Frsz2 { block_size, bits } => {
             let cfg = Frsz2Config::new(*block_size, *bits);
             gmres_with(a, b, x0, opts, &Identity, |r, c| {
@@ -146,7 +146,7 @@ mod tests {
             ..GmresOptions::default()
         };
         let via_spec = solve(&a, &b, &x0, &opts, &parse("frsz2_32").unwrap());
-        let direct = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
+        let direct = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &opts, &Identity);
         assert_eq!(via_spec.stats.iterations, direct.stats.iterations);
         assert_eq!(via_spec.stats.format, "frsz2_32");
     }

@@ -37,6 +37,23 @@
 //! `cases[*].fingerprint` hashes the bit pattern of the case's numeric
 //! output; the harness fails if it differs across thread counts, so CI
 //! enforces the determinism contract, not just the schema.
+//!
+//! ## Schema v1 case inventory (documentation bump, PR 3)
+//!
+//! The structural schema is unchanged, but the harness now emits more
+//! cases per suite:
+//!
+//! * `spmv` — one case per sparse format on the *same* matrix and
+//!   input vector: `spmv_csr`, `spmv_ell`, `spmv_sell` (SELL-32-256).
+//!   Their fingerprints MUST be pairwise equal at equal thread counts
+//!   (the `SparseMatrix` bit-identity contract); the harness exits
+//!   non-zero on any cross-format divergence. `config.auto_format`
+//!   records which format `spla::select::auto_format` picked, and each
+//!   case's `metrics.storage_bytes` exposes the padding trade-off.
+//! * `solve` — `cb_gmres_frsz2_21` (CSR operator) and
+//!   `cb_gmres_frsz2_21_auto` (auto-selected format). Both fingerprint
+//!   the full residual history and MUST agree: solver convergence is
+//!   independent of the matrix format.
 
 use std::fmt;
 

@@ -132,7 +132,18 @@ impl Frsz2Config {
     /// Worst-case absolute error for a value in a block whose largest
     /// magnitude is `block_max`: one ULP of the truncated fraction at
     /// block scale, `2^(emax − 1023 − (l − 2))`.
+    ///
+    /// Edge cases: an all-zero block (`block_max == 0`) compresses
+    /// exactly, so the bound is 0 — not the spurious `2^(-1021-l)` a
+    /// naive read of the formula would give (zero's *effective*
+    /// exponent is 1, but there is no fraction to truncate). A
+    /// subnormal `block_max` also has effective exponent 1 and the
+    /// formula stays valid: once `l > 54` every subnormal bit is
+    /// retained and `exp2i` underflows the bound to exactly 0.
     pub fn worst_case_abs_error(&self, block_max: f64) -> f64 {
+        if block_max == 0.0 {
+            return 0.0;
+        }
         let emax = crate::reference::effective_exponent(block_max) as i32;
         exp2i(emax - 1023 - (self.bits as i32 - 2))
     }

@@ -109,6 +109,72 @@ fn lengths_not_divisible_by_block_size() {
 }
 
 #[test]
+fn worst_case_error_bound_is_zero_for_zero_blocks() {
+    // An all-zero block stores emax = 1 and all-zero codes; every code
+    // decodes to exactly ±0, so the a-priori bound must be 0 — not the
+    // spurious 2^(-1021-l) that effective_exponent(0) = 1 would give.
+    for l in [4u32, 16, 21, 32, 64] {
+        let cfg = Frsz2Config::new(32, l);
+        assert_eq!(cfg.worst_case_abs_error(0.0), 0.0, "l={l}");
+        assert_eq!(cfg.worst_case_abs_error(-0.0), 0.0, "l={l} negative zero");
+        // And the codec agrees: zeros round-trip exactly.
+        let zeros = vec![0.0f64; 64];
+        let v = Frsz2Vector::try_compress(cfg, &zeros).unwrap();
+        for (i, &d) in v.decompress().iter().enumerate() {
+            assert_eq!(d.to_bits(), 0.0f64.to_bits(), "l={l} value {i}");
+        }
+    }
+}
+
+#[test]
+fn worst_case_error_bound_handles_subnormal_block_max() {
+    // Subnormal block_max: effective exponent floors at 1, the bound is
+    // 2^(-1022-(l-2)) — finite, non-negative, and it must actually hold
+    // for a compressed all-subnormal block.
+    let subnormals: Vec<f64> = (1..=32u64)
+        .map(|i| f64::from_bits(i * 0x0000_0E38_E38E_38E3))
+        .collect();
+    let block_max = subnormals
+        .iter()
+        .fold(0.0f64, |m, &v| if v.abs() > m.abs() { v } else { m });
+    assert!(block_max != 0.0 && block_max.abs() < f64::MIN_POSITIVE);
+    for l in [4u32, 16, 21, 32] {
+        let cfg = Frsz2Config::new(32, l);
+        let bound = cfg.worst_case_abs_error(block_max);
+        assert!(bound.is_finite() && bound > 0.0, "l={l} bound {bound}");
+        let v = Frsz2Vector::try_compress(cfg, &subnormals).unwrap();
+        let out = v.decompress();
+        for (i, (&a, &b)) in subnormals.iter().zip(&out).enumerate() {
+            assert!(
+                (a - b).abs() <= bound,
+                "l={l} value {i}: err {} beyond a-priori bound {bound}",
+                (a - b).abs()
+            );
+        }
+    }
+    // l > 54 retains every subnormal bit: the bound underflows to an
+    // exact 0 and the round trip is indeed exact.
+    let cfg64 = Frsz2Config::new(32, 64);
+    assert_eq!(cfg64.worst_case_abs_error(block_max), 0.0);
+    let v = Frsz2Vector::try_compress(cfg64, &subnormals).unwrap();
+    for (i, (&a, &b)) in subnormals.iter().zip(&v.decompress()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "l=64 value {i} must be exact");
+    }
+}
+
+#[test]
+fn worst_case_error_bound_normal_values_unchanged() {
+    // Regression guard for the zero-block clamp: normal inputs keep the
+    // paper's 2^(emax-1023-(l-2)) bound.
+    let cfg = Frsz2Config::new(32, 32);
+    // block_max = 1.0 -> emax = 1023 -> bound 2^-30.
+    assert_eq!(cfg.worst_case_abs_error(1.0), f64::powi(2.0, -30));
+    assert_eq!(cfg.worst_case_abs_error(-1.5), f64::powi(2.0, -30));
+    let cfg21 = Frsz2Config::new(32, 21);
+    assert_eq!(cfg21.worst_case_abs_error(1.0), f64::powi(2.0, -19));
+}
+
+#[test]
 fn denormal_heavy_blocks() {
     // A block made entirely of subnormals: emax is the floor value 1 and
     // nothing may panic, overflow a shift, or produce a non-finite

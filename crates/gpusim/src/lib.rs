@@ -27,6 +27,7 @@ pub mod counters;
 pub mod device;
 pub mod kernels;
 pub mod launch;
+pub mod spmv;
 pub mod warp;
 
 pub use cost::{estimate, CostBreakdown};

@@ -1,0 +1,287 @@
+//! Simulated SpMV kernels: CSR scalar-row vs SELL-C-σ warp-per-slice.
+//!
+//! This is where the sparse-format decision of `spla::select` becomes
+//! visible in the execution model. Both kernels are *functional* (their
+//! output is asserted bit-identical to the CPU `SparseMatrix::spmv`,
+//! which accumulates each row serially with separate mul/add — no FMA
+//! contraction) but they drive the warp's coalescing counters very
+//! differently:
+//!
+//! * **CSR scalar-row** — one lane per row, 32 consecutive rows per
+//!   warp. In step `k` lane `i` loads entry `row_ptr[rᵢ] + k`: lanes
+//!   sit ~`mean_row_len` elements apart, so every lane touches its own
+//!   32-byte sector and the value/index streams are nearly
+//!   uncoalesced — the classic reason GPU libraries abandon scalar CSR.
+//! * **SELL-C-σ warp-per-slice** (`C = 32`) — lane `r` owns slice lane
+//!   `r`. In step `k` the warp loads `slice_ptr[s] + k·32 + r`:
+//!   32 *consecutive* values (8 sectors) and 32 consecutive indices
+//!   (4 sectors) per step, fully coalesced; padding lanes predicate
+//!   off. The price is the σ-permutation scatter on the `y` store.
+//!
+//! Metadata streams (`row_ptr`, `slice_ptr`, slice widths, the
+//! permutation) are ignored by the accounting in *both* kernels: they
+//! are `O(rows)` against the `O(nnz)` value/index traffic the format
+//! comparison is about. The `x` gather is scattered in both kernels
+//! alike.
+
+use crate::counters::Counters;
+use crate::launch::launch_over;
+use crate::warp::WARP;
+use spla::{Csr, SellCSigma, SparseMatrix};
+
+/// Simulated scalar-row CSR SpMV (`y = A x`): one lane per row, counted
+/// loads/FLOPs, output bit-identical to `Csr::spmv`.
+pub fn spmv_csr_sim(a: &Csr, x: &[f64]) -> (Vec<f64>, Counters) {
+    assert_eq!(x.len(), a.cols(), "x length mismatch");
+    let mut y = vec![0.0f64; a.rows()];
+    if a.nnz() == 0 {
+        return (y, Counters::default());
+    }
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_indices();
+    let values = a.values();
+    let counters = launch_over(&mut y, WARP, |w, b, tile| {
+        let base = b * WARP;
+        let lanes = tile.len();
+        let max_len = (0..lanes)
+            .map(|i| row_ptr[base + i + 1] - row_ptr[base + i])
+            .max()
+            .unwrap_or(0);
+        let mut acc = [0.0f64; WARP];
+        for k in 0..max_len {
+            // Per-lane entry index; predicated-off lanes (k beyond
+            // their row) replay an active lane's address so they add
+            // no sectors, like a real predicated load.
+            let mut idxs = [0usize; WARP];
+            let mut active = [false; WARP];
+            let mut fallback = 0usize;
+            for i in 0..lanes {
+                let (lo, hi) = (row_ptr[base + i], row_ptr[base + i + 1]);
+                if lo + k < hi {
+                    idxs[i] = lo + k;
+                    active[i] = true;
+                    fallback = lo + k;
+                }
+            }
+            for i in 0..WARP {
+                if !active[i] {
+                    idxs[i] = fallback;
+                }
+            }
+            let cols = w.load_u32(col_idx, &idxs);
+            let vals = w.load_f64(values, &idxs);
+            // x gather through the just-loaded column indices.
+            let mut xidxs = [0usize; WARP];
+            let mut xfallback = 0usize;
+            for i in 0..lanes {
+                if active[i] {
+                    xidxs[i] = cols[i] as usize;
+                    xfallback = xidxs[i];
+                }
+            }
+            for i in 0..WARP {
+                if !active[i] {
+                    xidxs[i] = xfallback;
+                }
+            }
+            let xv = w.load_f64(x, &xidxs);
+            for i in 0..lanes {
+                if active[i] {
+                    // Separate mul + add: bit-compatible with the CPU
+                    // kernels (no FMA contraction).
+                    let p = w.f64_mul(vals[i], xv[i]);
+                    acc[i] = w.f64_add(acc[i], p);
+                }
+            }
+        }
+        tile.copy_from_slice(&acc[..lanes]);
+        // Coalesced output store: 32 consecutive rows.
+        let out_idxs: Vec<usize> = (0..lanes).map(|i| base + i).collect();
+        w.account_store_f64(&out_idxs);
+    });
+    (y, counters)
+}
+
+/// Simulated SELL-C-σ SpMV (`y = A x`, original row order): one warp
+/// per slice, `C` must equal the warp width 32. Counted loads/FLOPs,
+/// output bit-identical to `Csr::spmv`.
+///
+/// # Panics
+/// If the matrix's slice height is not 32.
+pub fn spmv_sell_sim(a: &SellCSigma, x: &[f64]) -> (Vec<f64>, Counters) {
+    assert_eq!(
+        a.slice_height(),
+        WARP,
+        "simulated SELL kernel requires C = warp width (32)"
+    );
+    assert_eq!(x.len(), a.cols(), "x length mismatch");
+    let mut y = vec![0.0f64; a.rows()];
+    if a.nnz() == 0 {
+        return (y, Counters::default());
+    }
+    let slice_ptr = a.slice_ptr();
+    let slice_width = a.slice_widths();
+    let perm = a.permutation();
+    let row_len = a.row_lengths();
+    let col_idx = a.col_indices();
+    let values = a.values();
+
+    // Kernel output in permuted (storage) order; scattered below.
+    let mut yp = vec![0.0f64; perm.len()];
+    let counters = launch_over(&mut yp, WARP, |w, s, tile| {
+        let base = slice_ptr[s];
+        let width = slice_width[s] as usize;
+        let lanes: [Option<u32>; WARP] = std::array::from_fn(|r| {
+            let p = perm[s * WARP + r];
+            (p != u32::MAX).then_some(p)
+        });
+        let mut acc = [0.0f64; WARP];
+        for k in 0..width {
+            // Fully coalesced: lane r reads slot base + k*32 + r.
+            let idxs: [usize; WARP] = std::array::from_fn(|r| base + k * WARP + r);
+            let cols = w.load_u32(col_idx, &idxs);
+            let vals = w.load_f64(values, &idxs);
+            let mut xidxs = [0usize; WARP];
+            let mut active = [false; WARP];
+            let mut xfallback = 0usize;
+            for r in 0..WARP {
+                if let Some(row) = lanes[r] {
+                    if (k as u32) < row_len[row as usize] {
+                        xidxs[r] = cols[r] as usize;
+                        active[r] = true;
+                        xfallback = xidxs[r];
+                    }
+                }
+            }
+            for r in 0..WARP {
+                if !active[r] {
+                    xidxs[r] = xfallback;
+                }
+            }
+            let xv = w.load_f64(x, &xidxs);
+            for r in 0..WARP {
+                if active[r] {
+                    let p = w.f64_mul(vals[r], xv[r]);
+                    acc[r] = w.f64_add(acc[r], p);
+                }
+            }
+        }
+        tile.copy_from_slice(&acc);
+        // Permutation scatter of the output: the coalescing price of
+        // σ-sorting.
+        let out_idxs: Vec<usize> = lanes.iter().flatten().map(|&p| p as usize).collect();
+        w.account_store_f64(&out_idxs);
+    });
+    for (p, &v) in perm.iter().zip(&yp) {
+        if *p != u32::MAX {
+            y[*p as usize] = v;
+        }
+    }
+    (y, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::estimate;
+    use crate::device::H100_PCIE;
+    use spla::{gen, Coo};
+
+    fn reference(a: &Csr, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.rows()];
+        a.spmv_serial(x, &mut y);
+        y
+    }
+
+    #[test]
+    fn csr_sim_matches_cpu_spmv_bitwise() {
+        let a = gen::conv_diff_3d(9, 8, 7, [0.3, 0.2, 0.1], 0.2);
+        let x: Vec<f64> = (0..a.cols()).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let (y, c) = spmv_csr_sim(&a, &x);
+        let expect = reference(&a, &x);
+        for i in 0..a.rows() {
+            assert_eq!(y[i].to_bits(), expect[i].to_bits(), "row {i}");
+        }
+        assert_eq!(c.fp64, 2 * a.nnz() as u64, "one mul + one add per nnz");
+    }
+
+    #[test]
+    fn sell_sim_matches_cpu_spmv_bitwise() {
+        // Irregular rows + a non-multiple-of-32 row count exercise the
+        // σ-permutation, padding lanes, and the trailing slice.
+        let n = 1003;
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 3.0 + (i % 5) as f64);
+            for k in 0..(i % 7) {
+                let c = (i + 11 * (k + 1)) % n;
+                if c != i {
+                    m.push(i, c, -0.125 - (k as f64) * 0.0625);
+                }
+            }
+        }
+        let a = m.to_csr();
+        let s = SellCSigma::from_csr(&a, 32, 256);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.21).cos()).collect();
+        let (y, c) = spmv_sell_sim(&s, &x);
+        let expect = reference(&a, &x);
+        for i in 0..n {
+            assert_eq!(y[i].to_bits(), expect[i].to_bits(), "row {i}");
+        }
+        assert_eq!(c.fp64, 2 * a.nnz() as u64);
+    }
+
+    #[test]
+    fn sell_coalesces_where_csr_does_not() {
+        // 7-point stencil: ~7 entries per row, so scalar-CSR lanes sit
+        // 7 elements apart (one sector each) while SELL streams 32
+        // consecutive elements per step.
+        let a = gen::conv_diff_3d(16, 16, 16, [0.4, 0.2, 0.1], 0.2);
+        let s = SellCSigma::from_csr(&a, 32, 256);
+        let x: Vec<f64> = (0..a.cols()).map(|i| ((i as f64) * 0.61).sin()).collect();
+        let (y_csr, c_csr) = spmv_csr_sim(&a, &x);
+        let (y_sell, c_sell) = spmv_sell_sim(&s, &x);
+        for i in 0..a.rows() {
+            assert_eq!(y_csr[i].to_bits(), y_sell[i].to_bits(), "row {i}");
+        }
+        // Identical arithmetic, very different memory behaviour.
+        assert_eq!(c_csr.fp64, c_sell.fp64);
+        assert!(
+            (c_sell.sectors_read as f64) < 0.6 * c_csr.sectors_read as f64,
+            "SELL must coalesce: {} vs {} sectors",
+            c_sell.sectors_read,
+            c_csr.sectors_read
+        );
+        // ... which the roofline turns into kernel time.
+        let t_csr = estimate(&H100_PCIE, &c_csr).total;
+        let t_sell = estimate(&H100_PCIE, &c_sell).total;
+        assert!(
+            t_sell < t_csr,
+            "SELL should be faster on the model: {t_sell:.3e} vs {t_csr:.3e}"
+        );
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_rows() {
+        let empty = Coo::new(0, 0).to_csr();
+        let (y, c) = spmv_csr_sim(&empty, &[]);
+        assert!(y.is_empty());
+        assert_eq!(c, Counters::default());
+
+        // Rows 10..20 are empty (including a whole empty warp region is
+        // impossible at n=40, but zero-length rows inside a warp are).
+        let mut m = Coo::new(40, 40);
+        for i in 0..40 {
+            if !(10..20).contains(&i) {
+                m.push(i, i, 2.0);
+            }
+        }
+        let a = m.to_csr();
+        let x = vec![1.5; 40];
+        let (y, _) = spmv_csr_sim(&a, &x);
+        let (ys, _) = spmv_sell_sim(&SellCSigma::from_csr(&a, 32, 40), &x);
+        let expect = reference(&a, &x);
+        assert_eq!(y, expect);
+        assert_eq!(ys, expect);
+    }
+}

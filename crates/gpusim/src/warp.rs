@@ -276,6 +276,15 @@ impl WarpCtx {
     pub fn account_store_only(&mut self, mem: &[u32], idxs: &[usize; WARP], _vals: &[u32; WARP]) {
         self.account_sectors(mem.as_ptr() as usize, idxs, 4, true);
     }
+
+    /// Account the traffic of per-lane `f64` stores at element indices
+    /// `idxs` whose data is written elsewhere (the launcher's output
+    /// tile, or a host-side permutation scatter). Used by the SpMV
+    /// kernels, where CSR writes `y` coalesced but SELL-C-σ scatters
+    /// through the row permutation.
+    pub fn account_store_f64(&mut self, idxs: &[usize]) {
+        self.account_sectors(0, idxs, 8, true);
+    }
 }
 
 #[cfg(test)]

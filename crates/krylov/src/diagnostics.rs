@@ -5,7 +5,7 @@ use crate::gmres::{gmres, GmresOptions};
 use crate::precond::Identity;
 use numfmt::ColumnStorage;
 use spla::stats;
-use spla::Csr;
+use spla::SparseMatrix;
 
 /// A captured Krylov basis vector with the paper's Fig. 2 statistics.
 #[derive(Clone, Debug)]
@@ -26,8 +26,8 @@ pub struct KrylovSnapshot {
 /// Run GMRES far enough to write basis vector number `iteration` and
 /// return it with its statistics. Returns `None` if the solver converges
 /// before reaching that iteration.
-pub fn krylov_snapshot<S: ColumnStorage>(
-    a: &Csr,
+pub fn krylov_snapshot<S: ColumnStorage, A: SparseMatrix + ?Sized>(
+    a: &A,
     b: &[f64],
     iteration: usize,
     value_bins: usize,
@@ -40,7 +40,7 @@ pub fn krylov_snapshot<S: ColumnStorage>(
         ..GmresOptions::default()
     };
     let x0 = vec![0.0; a.rows()];
-    let r = gmres::<S, _>(a, b, &x0, &opts, &Identity);
+    let r = gmres::<S, _, _>(a, b, &x0, &opts, &Identity);
     let values = r.captured_basis_vector?;
     let (lo, hi) = values
         .iter()
@@ -68,7 +68,7 @@ mod tests {
     fn snapshot_captures_unit_vector_with_clustered_exponents() {
         let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.1, 0.0], 0.1);
         let (_, b) = manufactured_rhs(&a);
-        let s = krylov_snapshot::<DenseStore<f64>>(&a, &b, 10, 32).expect("snapshot");
+        let s = krylov_snapshot::<DenseStore<f64>, _>(&a, &b, 10, 32).expect("snapshot");
         assert_eq!(s.values.len(), 512);
         assert_eq!(s.iteration, 10);
         let nrm = spla::dense::norm2(&s.values);
@@ -87,7 +87,7 @@ mod tests {
         let a = spla::Csr::identity(64);
         let (_, b) = manufactured_rhs(&a);
         // Identity converges immediately; iteration 50 is never reached.
-        let s = krylov_snapshot::<DenseStore<f64>>(&a, &b, 50, 16);
+        let s = krylov_snapshot::<DenseStore<f64>, _>(&a, &b, 50, 16);
         assert!(s.is_none());
     }
 }

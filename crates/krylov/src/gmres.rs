@@ -17,7 +17,7 @@ use crate::basis::Basis;
 use crate::precond::Preconditioner;
 use numfmt::ColumnStorage;
 use spla::dense::{axpy, norm2, scale, sub};
-use spla::Csr;
+use spla::SparseMatrix;
 use std::time::{Duration, Instant};
 
 /// Solver options (§V-C defaults).
@@ -114,9 +114,13 @@ fn givens(a: f64, b: f64) -> (f64, f64) {
 ///
 /// This is Fig. 1 of the paper; the highlighted compression points are
 /// the `basis.write` (steps 1/13, compress) and every `basis.*` read
-/// (steps 5/8/17, decompress through the accessor).
-pub fn gmres<S: ColumnStorage, P: Preconditioner>(
-    a: &Csr,
+/// (steps 5/8/17, decompress through the accessor). The operator is any
+/// [`SparseMatrix`] format (CSR/ELL/SELL-C-σ, or `&dyn SparseMatrix`
+/// from the runtime auto-selection); because every format's SpMV is
+/// bit-identical, the residual history does not depend on the format
+/// backing `a`.
+pub fn gmres<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
     b: &[f64],
     x0: &[f64],
     opts: &GmresOptions,
@@ -129,8 +133,8 @@ pub fn gmres<S: ColumnStorage, P: Preconditioner>(
 /// that need more configuration than a shape (e.g.
 /// `Frsz2Store::with_config` for `frsz2_16`/`frsz2_21`, or a
 /// compressor-round-trip store). The factory receives `(rows, cols)`.
-pub fn gmres_with<S: ColumnStorage, P: Preconditioner>(
-    a: &Csr,
+pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
     b: &[f64],
     x0: &[f64],
     opts: &GmresOptions,
@@ -351,7 +355,7 @@ mod tests {
     use frsz2::Frsz2Store;
     use numfmt::{DenseStore, F16};
     use spla::dense::manufactured_rhs;
-    use spla::gen;
+    use spla::{gen, Csr, Ell, SellCSigma};
 
     fn opts(target: f64) -> GmresOptions {
         GmresOptions {
@@ -365,7 +369,7 @@ mod tests {
     fn identity_system_converges_in_one_iteration() {
         let a = Csr::identity(500);
         let (xsol, b) = manufactured_rhs(&a);
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 500], &opts(1e-14), &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 500], &opts(1e-14), &Identity);
         assert!(r.stats.converged);
         assert!(r.stats.iterations <= 2);
         for (xi, si) in r.x.iter().zip(&xsol) {
@@ -381,7 +385,7 @@ mod tests {
         }
         let a = coo.to_csr();
         let (xsol, b) = manufactured_rhs(&a);
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 50], &opts(1e-13), &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 50], &opts(1e-13), &Identity);
         assert!(r.stats.converged, "final rrn {}", r.stats.final_rrn);
         for (i, (xi, si)) in r.x.iter().zip(&xsol).enumerate() {
             assert!((xi - si).abs() < 1e-9, "x[{i}]");
@@ -394,9 +398,9 @@ mod tests {
         let (_, b) = manufactured_rhs(&a);
         let x0 = vec![0.0; a.rows()];
         let o = opts(1e-10);
-        let f64r = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
-        let f32r = gmres::<DenseStore<f32>, _>(&a, &b, &x0, &o, &Identity);
-        let frsz = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
+        let f64r = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &o, &Identity);
+        let f32r = gmres::<DenseStore<f32>, _, _>(&a, &b, &x0, &o, &Identity);
+        let frsz = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &o, &Identity);
         assert!(f64r.stats.converged);
         assert!(f32r.stats.converged);
         assert!(frsz.stats.converged);
@@ -410,7 +414,7 @@ mod tests {
     fn residual_history_is_recorded_and_final_explicit() {
         let a = gen::conv_diff_3d(8, 8, 8, [0.2, 0.0, 0.0], 0.2);
         let (_, b) = manufactured_rhs(&a);
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &opts(1e-9), &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 512], &opts(1e-9), &Identity);
         assert!(r.stats.converged);
         assert!(!r.history.is_empty());
         // First point: explicit RRN of the zero initial guess = 1.
@@ -442,7 +446,7 @@ mod tests {
             max_iters: 3000,
             ..GmresOptions::default()
         };
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
         assert!(r.stats.converged, "rrn {}", r.stats.final_rrn);
         assert!(r.stats.restarts >= 2, "expected multiple restarts");
     }
@@ -453,8 +457,8 @@ mod tests {
         let (_, b) = manufactured_rhs(&a);
         let x0 = vec![0.0; a.rows()];
         let o = opts(1e-7);
-        let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
-        let half = gmres::<DenseStore<F16>, _>(&a, &b, &x0, &o, &Identity);
+        let full = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &o, &Identity);
+        let half = gmres::<DenseStore<F16>, _, _>(&a, &b, &x0, &o, &Identity);
         assert!(full.stats.converged && half.stats.converged);
         assert!(half.stats.iterations >= full.stats.iterations);
     }
@@ -475,9 +479,9 @@ mod tests {
         let (_, b) = manufactured_rhs(&a);
         let x0 = vec![0.0; 400];
         let o = opts(1e-10);
-        let plain = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &Identity);
+        let plain = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &o, &Identity);
         let jac = Jacobi::new(&a);
-        let pre = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &o, &jac);
+        let pre = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &o, &jac);
         assert!(pre.stats.converged);
         assert!(
             pre.stats.iterations <= plain.stats.iterations,
@@ -490,7 +494,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = Csr::identity(10);
-        let r = gmres::<DenseStore<f64>, _>(&a, &[0.0; 10], &[1.0; 10], &opts(1e-12), &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &[0.0; 10], &[1.0; 10], &opts(1e-12), &Identity);
         assert!(r.stats.converged);
         assert!(r.x.iter().all(|&v| v == 0.0));
         assert_eq!(r.stats.iterations, 0);
@@ -505,7 +509,7 @@ mod tests {
             target_rrn: 1e-10,
             ..GmresOptions::default()
         };
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 216], &o, &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 216], &o, &Identity);
         let v = r.captured_basis_vector.expect("vector captured");
         let nrm = spla::dense::norm2(&v);
         assert!(
@@ -523,10 +527,52 @@ mod tests {
             max_iters: 50,
             ..GmresOptions::default()
         };
-        let r = gmres::<DenseStore<f64>, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
         assert!(!r.stats.converged);
         assert_eq!(r.stats.iterations, 50);
         assert!(r.stats.final_rrn > 0.0);
+    }
+
+    #[test]
+    fn residual_history_independent_of_matrix_format() {
+        // The bit-identity contract of `SparseMatrix` means a solve is
+        // the *same computation* whatever format backs the operator.
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.1);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; 512];
+        let o = opts(1e-9);
+        let base = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &o, &Identity);
+        let ell = Ell::from_csr(&a);
+        let sell = SellCSigma::from_csr(&a, 32, 256);
+        for (label, r) in [
+            (
+                "ell",
+                gmres::<Frsz2Store, _, _>(&ell, &b, &x0, &o, &Identity),
+            ),
+            (
+                "sell",
+                gmres::<Frsz2Store, _, _>(&sell, &b, &x0, &o, &Identity),
+            ),
+            (
+                "dyn",
+                gmres::<Frsz2Store, _, _>(
+                    spla::auto_format(&a).build(&a).as_ref(),
+                    &b,
+                    &x0,
+                    &o,
+                    &Identity,
+                ),
+            ),
+        ] {
+            assert_eq!(r.stats.iterations, base.stats.iterations, "{label}");
+            assert_eq!(r.history.len(), base.history.len(), "{label}");
+            for (p, q) in r.history.iter().zip(&base.history) {
+                assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "{label} history");
+            }
+            for (u, v) in r.x.iter().zip(&base.x) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{label} solution");
+            }
+        }
     }
 
     #[test]
@@ -535,8 +581,8 @@ mod tests {
         let (_, b) = manufactured_rhs(&a);
         let x0 = vec![0.0; 512];
         let o = opts(1e-9);
-        let r1 = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
-        let r2 = gmres::<Frsz2Store, _>(&a, &b, &x0, &o, &Identity);
+        let r1 = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &o, &Identity);
+        let r2 = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &o, &Identity);
         assert_eq!(r1.stats.iterations, r2.stats.iterations);
         assert_eq!(r1.history.len(), r2.history.len());
         for (p, q) in r1.history.iter().zip(&r2.history) {

@@ -24,4 +24,4 @@ pub mod precond;
 
 pub use basis::Basis;
 pub use gmres::{gmres, gmres_with, GmresOptions, HistoryPoint, SolveResult, SolveStats};
-pub use precond::{BlockJacobi, Identity, Jacobi, Preconditioner};
+pub use precond::{BlockJacobi, Identity, Jacobi, PrecondError, Preconditioner};

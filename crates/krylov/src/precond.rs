@@ -5,8 +5,40 @@
 //! [`Jacobi`] and [`BlockJacobi`] are the optional extension the related
 //! work points at (\[15\]: adaptive-precision block-Jacobi): they exercise
 //! the `M⁻¹` hooks of Fig. 1 steps 3 and 17.
+//!
+//! Construction accepts any [`SparseMatrix`] format. The validating
+//! `try_new` constructors reject degenerate operators (zero diagonals,
+//! singular blocks) with a typed [`PrecondError`]; the infallible `new`
+//! constructors *degrade gracefully* instead — a zero-diagonal row or
+//! singular block falls back to identity scaling and the fallback count
+//! is recorded — so a whole suite run is never aborted by one bad row.
 
-use spla::Csr;
+use spla::SparseMatrix;
+
+/// Why a preconditioner could not be built exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecondError {
+    /// `diag(A)` has a zero entry at this row: point-Jacobi undefined.
+    ZeroDiagonal { row: usize },
+    /// This diagonal block is numerically singular: block-Jacobi
+    /// undefined.
+    SingularBlock { block: usize },
+}
+
+impl std::fmt::Display for PrecondError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrecondError::ZeroDiagonal { row } => {
+                write!(f, "zero diagonal at row {row}: Jacobi undefined")
+            }
+            PrecondError::SingularBlock { block } => {
+                write!(f, "singular diagonal block {block}: BlockJacobi undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrecondError {}
 
 /// Application of `M⁻¹` (right preconditioning: `w = A M⁻¹ v`).
 pub trait Preconditioner: Send + Sync {
@@ -36,24 +68,52 @@ impl Preconditioner for Identity {
 #[derive(Clone, Debug)]
 pub struct Jacobi {
     inv_diag: Vec<f64>,
+    skipped_rows: usize,
 }
 
 impl Jacobi {
-    /// Build from the matrix diagonal.
-    ///
-    /// # Panics
-    /// If any diagonal entry is zero.
-    pub fn new(a: &Csr) -> Self {
+    /// Build from the matrix diagonal, rejecting zero diagonal entries.
+    pub fn try_new(a: &(impl SparseMatrix + ?Sized)) -> Result<Self, PrecondError> {
+        let mut inv_diag = Vec::new();
+        for (row, &d) in a.diagonal().iter().enumerate() {
+            if d == 0.0 {
+                return Err(PrecondError::ZeroDiagonal { row });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(Jacobi {
+            inv_diag,
+            skipped_rows: 0,
+        })
+    }
+
+    /// Build from the matrix diagonal. Zero-diagonal rows fall back to
+    /// identity scaling (factor 1.0) and are counted in
+    /// [`Jacobi::skipped_rows`], so a degenerate row degrades the
+    /// preconditioner instead of aborting the solve.
+    pub fn new(a: &(impl SparseMatrix + ?Sized)) -> Self {
+        let mut skipped_rows = 0usize;
         let inv_diag = a
             .diagonal()
             .iter()
-            .enumerate()
-            .map(|(i, &d)| {
-                assert!(d != 0.0, "zero diagonal at row {i}: Jacobi undefined");
-                1.0 / d
+            .map(|&d| {
+                if d == 0.0 {
+                    skipped_rows += 1;
+                    1.0
+                } else {
+                    1.0 / d
+                }
             })
             .collect();
-        Jacobi { inv_diag }
+        Jacobi {
+            inv_diag,
+            skipped_rows,
+        }
+    }
+
+    /// Rows where the zero-diagonal identity fallback was applied.
+    pub fn skipped_rows(&self) -> usize {
+        self.skipped_rows
     }
 }
 
@@ -73,48 +133,83 @@ impl Preconditioner for Jacobi {
 /// Block-Jacobi with dense inverted diagonal blocks of fixed size.
 ///
 /// Blocks are factorized once with partial-pivoted LU; `apply` performs
-/// the two triangular solves per block.
+/// the two triangular solves per block. A singular block falls back to
+/// the identity (see [`BlockJacobi::new`]).
 #[derive(Clone, Debug)]
 pub struct BlockJacobi {
     n: usize,
     bs: usize,
-    /// Per block: LU factors (row-major bs×bs) and pivot indices.
-    lu: Vec<(Vec<f64>, Vec<usize>)>,
+    /// Per block: LU factors (row-major bs×bs) and pivot indices, or
+    /// `None` for a singular block handled as identity.
+    lu: Vec<Option<(Vec<f64>, Vec<usize>)>>,
+    singular_blocks: usize,
 }
 
 impl BlockJacobi {
-    /// Extract and factorize the block diagonal of `a` with `block_size`.
+    /// Extract and factorize the block diagonal of `a`, rejecting
+    /// numerically singular blocks.
+    pub fn try_new(
+        a: &(impl SparseMatrix + ?Sized),
+        block_size: usize,
+    ) -> Result<Self, PrecondError> {
+        let p = Self::build(a, block_size);
+        if let Some(block) = p.lu.iter().position(Option::is_none) {
+            return Err(PrecondError::SingularBlock { block });
+        }
+        Ok(p)
+    }
+
+    /// Extract and factorize the block diagonal of `a` with
+    /// `block_size`. Singular blocks fall back to the identity (the
+    /// block's rows pass through unscaled) and are counted in
+    /// [`BlockJacobi::singular_blocks`].
     ///
     /// # Panics
-    /// If a diagonal block is numerically singular.
-    pub fn new(a: &Csr, block_size: usize) -> Self {
+    /// If `block_size == 0`.
+    pub fn new(a: &(impl SparseMatrix + ?Sized), block_size: usize) -> Self {
+        Self::build(a, block_size)
+    }
+
+    fn build(a: &(impl SparseMatrix + ?Sized), block_size: usize) -> Self {
         assert!(block_size >= 1);
         let n = a.rows();
         let mut lu = Vec::with_capacity(n.div_ceil(block_size));
+        let mut singular_blocks = 0usize;
         for start in (0..n).step_by(block_size) {
             let bs = block_size.min(n - start);
             let mut block = vec![0.0; bs * bs];
             for r in 0..bs {
-                let (cols, vals) = a.row(start + r);
-                for (&c, &v) in cols.iter().zip(vals) {
+                a.for_each_in_row(start + r, &mut |c, v| {
                     let c = c as usize;
                     if c >= start && c < start + bs {
                         block[r * bs + (c - start)] = v;
                     }
+                });
+            }
+            match lu_factor(block, bs) {
+                Some(f) => lu.push(Some(f)),
+                None => {
+                    singular_blocks += 1;
+                    lu.push(None);
                 }
             }
-            lu.push(lu_factor(block, bs));
         }
         BlockJacobi {
             n,
             bs: block_size,
             lu,
+            singular_blocks,
         }
+    }
+
+    /// Blocks where the singular-block identity fallback was applied.
+    pub fn singular_blocks(&self) -> usize {
+        self.singular_blocks
     }
 }
 
-/// In-place partial-pivot LU. Returns (factors, pivots).
-fn lu_factor(mut m: Vec<f64>, n: usize) -> (Vec<f64>, Vec<usize>) {
+/// In-place partial-pivot LU. Returns `None` for a singular matrix.
+fn lu_factor(mut m: Vec<f64>, n: usize) -> Option<(Vec<f64>, Vec<usize>)> {
     let mut piv: Vec<usize> = (0..n).collect();
     for k in 0..n {
         // Pivot selection.
@@ -126,7 +221,9 @@ fn lu_factor(mut m: Vec<f64>, n: usize) -> (Vec<f64>, Vec<usize>) {
                 best_abs = a;
             }
         }
-        assert!(best_abs > 0.0, "singular diagonal block in BlockJacobi");
+        if best_abs == 0.0 {
+            return None;
+        }
         if best != k {
             for c in 0..n {
                 m.swap(k * n + c, best * n + c);
@@ -142,7 +239,7 @@ fn lu_factor(mut m: Vec<f64>, n: usize) -> (Vec<f64>, Vec<usize>) {
             }
         }
     }
-    (m, piv)
+    Some((m, piv))
 }
 
 /// Solve `LU x = b[piv]` in place into `x`.
@@ -170,10 +267,16 @@ impl Preconditioner for BlockJacobi {
     fn apply(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.n);
         assert_eq!(out.len(), self.n);
-        for (b, (lu, piv)) in self.lu.iter().enumerate() {
+        for (b, factors) in self.lu.iter().enumerate() {
             let start = b * self.bs;
-            let bs = piv.len();
-            lu_solve(lu, piv, &v[start..start + bs], &mut out[start..start + bs]);
+            let bs = self.bs.min(self.n - start);
+            match factors {
+                Some((lu, piv)) => {
+                    lu_solve(lu, piv, &v[start..start + bs], &mut out[start..start + bs]);
+                }
+                // Singular block: identity fallback.
+                None => out[start..start + bs].copy_from_slice(&v[start..start + bs]),
+            }
         }
     }
 
@@ -185,7 +288,7 @@ impl Preconditioner for BlockJacobi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spla::Coo;
+    use spla::{Coo, Ell, SellCSigma};
 
     #[test]
     fn identity_copies() {
@@ -204,9 +307,47 @@ mod tests {
         m.push(2, 2, -0.5);
         m.push(0, 1, 9.0); // off-diagonal ignored by Jacobi
         let p = Jacobi::new(&m.to_csr());
+        assert_eq!(p.skipped_rows(), 0);
         let mut out = vec![0.0; 3];
         p.apply(&[2.0, 4.0, -0.5], &mut out);
         assert_eq!(out, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_zero_diagonal_falls_back_and_try_new_errors() {
+        // Row 1 has no diagonal entry at all.
+        let mut m = Coo::new(3, 3);
+        m.push(0, 0, 2.0);
+        m.push(1, 0, 7.0);
+        m.push(2, 2, 4.0);
+        let a = m.to_csr();
+        assert_eq!(
+            Jacobi::try_new(&a).unwrap_err(),
+            PrecondError::ZeroDiagonal { row: 1 }
+        );
+        // `new` must not panic: the zero row passes through unscaled.
+        let p = Jacobi::new(&a);
+        assert_eq!(p.skipped_rows(), 1);
+        let mut out = vec![0.0; 3];
+        p.apply(&[2.0, 5.0, 8.0], &mut out);
+        assert_eq!(out, vec![1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn jacobi_accepts_any_sparse_format() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 0, 2.0);
+        m.push(1, 1, 4.0);
+        m.push(2, 2, 8.0);
+        let a = m.to_csr();
+        for p in [
+            Jacobi::new(&Ell::from_csr(&a)),
+            Jacobi::new(&SellCSigma::from_csr(&a, 2, 4)),
+        ] {
+            let mut out = vec![0.0; 3];
+            p.apply(&[2.0, 4.0, 8.0], &mut out);
+            assert_eq!(out, vec![1.0, 1.0, 1.0]);
+        }
     }
 
     #[test]
@@ -225,6 +366,7 @@ mod tests {
         m.push(3, 3, 2.0);
         let a = m.to_csr();
         let p = BlockJacobi::new(&a, 2);
+        assert_eq!(p.singular_blocks(), 0);
         let x = vec![1.0, -2.0, 0.5, 3.0];
         let b = a.mul_vec(&x);
         let mut out = vec![0.0; 4];
@@ -252,22 +394,78 @@ mod tests {
     }
 
     #[test]
+    fn partial_trailing_block_roundtrips_matvec_exactly() {
+        // 5×5 block-diagonal with block size 2: two full 2×2 blocks and
+        // a trailing 1×1 block. Entries are dyadic and upper-triangular
+        // within each block, so LU needs no pivoting and both the
+        // matvec and the two triangular solves are exact in f64:
+        // apply(matvec(x)) must round-trip *bitwise*.
+        let mut m = Coo::new(5, 5);
+        m.push(0, 0, 2.0);
+        m.push(0, 1, 1.0);
+        m.push(1, 1, 4.0);
+        m.push(2, 2, 0.5);
+        m.push(2, 3, -1.0);
+        m.push(3, 3, 8.0);
+        m.push(4, 4, 16.0); // trailing partial block
+        let a = m.to_csr();
+        let p = BlockJacobi::new(&a, 2);
+        assert_eq!(p.singular_blocks(), 0);
+        let x = vec![1.5, -2.25, 0.75, 3.0, -0.125];
+        let b = a.mul_vec(&x);
+        let mut out = vec![0.0; 5];
+        p.apply(&b, &mut out);
+        for i in 0..5 {
+            assert_eq!(
+                out[i].to_bits(),
+                x[i].to_bits(),
+                "i={i}: {} vs {}",
+                out[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
     fn lu_pivoting_handles_zero_leading_entry() {
         // [[0, 1], [1, 0]] requires a row swap.
-        let (lu, piv) = lu_factor(vec![0.0, 1.0, 1.0, 0.0], 2);
+        let (lu, piv) = lu_factor(vec![0.0, 1.0, 1.0, 0.0], 2).unwrap();
         let mut x = vec![0.0; 2];
         lu_solve(&lu, &piv, &[3.0, 7.0], &mut x);
         assert_eq!(x, vec![7.0, 3.0]);
     }
 
     #[test]
-    #[should_panic(expected = "singular")]
-    fn singular_block_panics() {
-        let mut m = Coo::new(2, 2);
+    fn singular_block_falls_back_and_try_new_errors() {
+        // Block 0 is the singular [[1, 1], [1, 1]]; block 1 is fine.
+        let mut m = Coo::new(4, 4);
         m.push(0, 0, 1.0);
         m.push(0, 1, 1.0);
         m.push(1, 0, 1.0);
         m.push(1, 1, 1.0);
-        BlockJacobi::new(&m.to_csr(), 2);
+        m.push(2, 2, 2.0);
+        m.push(3, 3, 4.0);
+        let a = m.to_csr();
+        assert_eq!(
+            BlockJacobi::try_new(&a, 2).unwrap_err(),
+            PrecondError::SingularBlock { block: 0 }
+        );
+        // `new` must not panic: the singular block acts as identity,
+        // the healthy block still inverts.
+        let p = BlockJacobi::new(&a, 2);
+        assert_eq!(p.singular_blocks(), 1);
+        let mut out = vec![0.0; 4];
+        p.apply(&[3.0, 5.0, 2.0, 4.0], &mut out);
+        assert_eq!(out, vec![3.0, 5.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn error_messages_name_the_offender() {
+        assert!(PrecondError::ZeroDiagonal { row: 7 }
+            .to_string()
+            .contains("row 7"));
+        assert!(PrecondError::SingularBlock { block: 3 }
+            .to_string()
+            .contains("block 3"));
     }
 }

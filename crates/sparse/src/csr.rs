@@ -5,7 +5,7 @@
 //! execution keeps per-row accumulation serial, so results are
 //! bit-deterministic regardless of thread count.
 
-use rayon::prelude::*;
+use crate::matrix::SparseMatrix;
 
 /// Sparse matrix in CSR format (`u32` column indices).
 #[derive(Clone, Debug)]
@@ -16,13 +16,6 @@ pub struct Csr {
     col_idx: Vec<u32>,
     values: Vec<f64>,
 }
-
-/// Rows per parallel work item; large enough to amortize scheduling
-/// (≥ ~7k FLOPs per item on the suite's stencils), small enough to
-/// balance irregular row lengths. The pool groups items into tasks
-/// independently of the thread count, so this constant fixes the
-/// work-item geometry, not the parallel grain.
-const ROW_CHUNK: usize = 1024;
 
 impl Csr {
     /// Build from row-major-sorted, duplicate-free triplets.
@@ -86,6 +79,12 @@ impl Csr {
         &self.row_ptr
     }
 
+    /// Stored entries per row, in row order (the input of the format
+    /// converters and the selection heuristic).
+    pub fn row_lengths(&self) -> impl Iterator<Item = u32> + '_ {
+        self.row_ptr.windows(2).map(|w| (w[1] - w[0]) as u32)
+    }
+
     /// Mutable values (used by scaling transformations).
     pub fn values_mut(&mut self) -> &mut [f64] {
         &mut self.values
@@ -93,32 +92,23 @@ impl Csr {
 
     /// `y := A x` (parallel over row chunks, deterministic).
     ///
-    /// Each row is accumulated serially by exactly one worker, so the
+    /// Each row is accumulated serially by exactly one worker through
+    /// the shared [`crate::matrix::par_over_rows`] driver, so the
     /// result is bit-identical to [`Csr::spmv_serial`] at any thread
     /// count.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");
-        if self.rows <= ROW_CHUNK {
-            // A single work item cannot be split; skip the pool.
-            return self.spmv_serial(x, y);
-        }
         let row_ptr = &self.row_ptr;
         let col_idx = &self.col_idx;
         let values = &self.values;
-        y.par_chunks_mut(ROW_CHUNK)
-            .enumerate()
-            .for_each(|(chunk, out)| {
-                let base = chunk * ROW_CHUNK;
-                for (k, yi) in out.iter_mut().enumerate() {
-                    let i = base + k;
-                    let mut acc = 0.0;
-                    for idx in row_ptr[i]..row_ptr[i + 1] {
-                        acc += values[idx] * x[col_idx[idx] as usize];
-                    }
-                    *yi = acc;
-                }
-            });
+        crate::matrix::par_over_rows(y, |i| {
+            let mut acc = 0.0;
+            for idx in row_ptr[i]..row_ptr[i + 1] {
+                acc += values[idx] * x[col_idx[idx] as usize];
+            }
+            acc
+        });
     }
 
     /// `y := A x` computed serially (reference for tests).
@@ -225,6 +215,47 @@ impl Csr {
     /// pointers + input/output vectors) — drives the performance model.
     pub fn spmv_bytes(&self) -> usize {
         self.nnz() * (8 + 4) + (self.rows + 1) * 8 + self.cols * 8 + self.rows * 8
+    }
+}
+
+impl SparseMatrix for Csr {
+    fn rows(&self) -> usize {
+        Csr::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Csr::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+
+    fn format_name(&self) -> &'static str {
+        "csr"
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.nnz() * (8 + 4) + (self.rows + 1) * 8
+    }
+
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(u32, f64)) {
+        let (cols, vals) = self.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            f(c, v);
+        }
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        Csr::spmv(self, x, y)
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        Csr::diagonal(self)
+    }
+
+    fn spmv_bytes(&self) -> usize {
+        Csr::spmv_bytes(self)
     }
 }
 

@@ -11,7 +11,9 @@ use std::io::{BufRead, Write};
 /// Parse a MatrixMarket stream into COO form.
 ///
 /// Symmetric files are expanded (the strictly-lower triangle is
-/// mirrored). 1-based indices are converted to 0-based.
+/// mirrored); an entry above the diagonal in a symmetric file is a
+/// parse error, per the MatrixMarket specification. 1-based indices
+/// are converted to 0-based.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<Coo> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let mut lines = reader.lines();
@@ -78,6 +80,17 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<Coo> {
             .ok_or_else(|| bad("bad entry value"))?;
         if r < 1 || r > rows || c < 1 || c > cols {
             return Err(bad(&format!("entry ({r},{c}) out of bounds")));
+        }
+        // The MatrixMarket spec requires symmetric files to store the
+        // lower triangle only. Accepting upper-triangle entries would
+        // let a file storing *both* triangles slip through, silently
+        // doubling every off-diagonal value when duplicates are summed
+        // on CSR conversion — so reject per spec instead.
+        if symmetric && c > r {
+            return Err(bad(&format!(
+                "symmetric file stores upper-triangle entry ({r},{c}); \
+                 only the lower triangle (row >= col) is allowed"
+            )));
         }
         coo.push(r - 1, c - 1, v);
         if symmetric && r != c {
@@ -254,6 +267,10 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", // missing value
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n", // bad value
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", // 0-based index
+            // Symmetric files must store only the lower triangle; a
+            // (1,2) entry would be mirrored into the wrong matrix.
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n",
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.0\n1 3 0.5\n",
         ] {
             assert!(
                 read_matrix_market(BufReader::new(text.as_bytes())).is_err(),

@@ -5,6 +5,12 @@
 //!
 //! * [`coo`]/[`csr`] — triplet assembly and compressed-sparse-row storage
 //!   with rayon-parallel SpMV (the memory-bound kernel of GMRES step 3),
+//! * [`matrix`] — the [`SparseMatrix`] trait the solver stack is generic
+//!   over, with [`ell`] (padded ELLPACK) and [`sell`] (SELL-C-σ, the
+//!   sliced format GPUs actually run SpMV from) as alternative storage
+//!   formats whose SpMV is bit-identical to CSR,
+//! * [`select`] — data-driven runtime format selection from row-length
+//!   statistics,
 //! * [`dense`] — deterministic parallel vector kernels (dot, norm2, axpy),
 //! * [`io`] — MatrixMarket reading/writing so the real SuiteSparse
 //!   matrices of Table I can be dropped in when available,
@@ -21,11 +27,19 @@
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod ell;
 pub mod gen;
 pub mod io;
+pub mod matrix;
+pub mod select;
+pub mod sell;
 pub mod stats;
 pub mod suite;
 
 pub use coo::Coo;
 pub use csr::Csr;
+pub use ell::Ell;
+pub use matrix::SparseMatrix;
+pub use select::{auto_format, FormatChoice};
+pub use sell::SellCSigma;
 pub use suite::{SuiteMatrix, TableOneEntry, TABLE_ONE};

@@ -1,7 +1,7 @@
 //! Property tests for the sparse substrate.
 
 use proptest::prelude::*;
-use spla::{dense, io, Coo};
+use spla::{dense, io, Coo, Ell, SellCSigma, SparseMatrix};
 use std::io::BufReader;
 
 /// Random small dense matrix as triplets (possibly with duplicates).
@@ -165,6 +165,40 @@ proptest! {
         prop_assert_eq!(a.values(), b.values());
     }
 
+    /// ELL and SELL-C-σ SpMV are bit-identical to CSR on arbitrary
+    /// generated matrices, for several slice/window geometries.
+    #[test]
+    fn formats_spmv_bit_identical_to_csr(
+        trips in triplets(20),
+        x in prop::collection::vec(-5.0f64..5.0, 20),
+        c in 1usize..9,
+        sigma in 1usize..40,
+    ) {
+        let n = 20;
+        let mut coo = Coo::new(n, n);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let reference = a.mul_vec(&x);
+        let formats: [Box<dyn SparseMatrix>; 2] = [
+            Box::new(Ell::from_csr(&a)),
+            Box::new(SellCSigma::from_csr(&a, c, sigma)),
+        ];
+        for m in &formats {
+            prop_assert_eq!(m.nnz(), a.nnz());
+            let mut y = vec![0.0; n];
+            m.spmv(&x, &mut y);
+            for i in 0..n {
+                prop_assert_eq!(
+                    y[i].to_bits(),
+                    reference[i].to_bits(),
+                    "{} row {}", m.format_name(), i
+                );
+            }
+        }
+    }
+
     /// dot/axpy/norm2 satisfy basic algebraic identities.
     #[test]
     fn vector_kernel_identities(
@@ -185,5 +219,52 @@ proptest! {
         let mut z = vec![1.0; n];
         dense::sub(&x, &x, &mut z);
         prop_assert!(z.iter().all(|&v| v == 0.0));
+    }
+}
+
+/// Every format agrees with serial CSR *bitwise* on a matrix large
+/// enough to span many parallel row chunks, under pools of 1, 2 and 8
+/// threads — the cross-format arm of the determinism contract.
+#[test]
+fn formats_spmv_bit_identical_across_thread_counts() {
+    let n = 6000;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0 + ((i % 11) as f64) * 0.125);
+        // Irregular row lengths: 0..=5 extra couplings per row.
+        for k in 0..(i % 6) {
+            let c = (i + 13 * (k + 1)) % n;
+            if c != i {
+                coo.push(i, c, -0.3 - (k as f64) * 0.05);
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.29).sin()).collect();
+    let mut reference = vec![0.0; n];
+    a.spmv_serial(&x, &mut reference);
+    let formats: [Box<dyn SparseMatrix>; 4] = [
+        Box::new(a.clone()),
+        Box::new(Ell::from_csr(&a)),
+        Box::new(SellCSigma::from_csr(&a, 32, 256)),
+        spla::auto_format(&a).build(&a),
+    ];
+    for m in &formats {
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0; n];
+            pool.install(|| m.spmv(&x, &mut y));
+            for i in 0..n {
+                assert_eq!(
+                    y[i].to_bits(),
+                    reference[i].to_bits(),
+                    "{} row {i} at {threads} threads",
+                    m.format_name()
+                );
+            }
+        }
     }
 }

@@ -43,19 +43,19 @@ fn main() {
 
     report(
         "float64",
-        &gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity),
+        &gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &opts, &Identity),
     );
     report(
         "float32",
-        &gmres::<DenseStore<f32>, _>(&a, &b, &x0, &opts, &Identity),
+        &gmres::<DenseStore<f32>, _, _>(&a, &b, &x0, &opts, &Identity),
     );
     report(
         "float16",
-        &gmres::<DenseStore<F16>, _>(&a, &b, &x0, &opts, &Identity),
+        &gmres::<DenseStore<F16>, _, _>(&a, &b, &x0, &opts, &Identity),
     );
     report(
         "bfloat16",
-        &gmres::<DenseStore<BF16>, _>(&a, &b, &x0, &opts, &Identity),
+        &gmres::<DenseStore<BF16>, _, _>(&a, &b, &x0, &opts, &Identity),
     );
     for l in [16u32, 21, 32] {
         let cfg = Frsz2Config::new(32, l);

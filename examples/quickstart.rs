@@ -42,8 +42,8 @@ fn main() {
     };
 
     println!("\nsolving a {0}x{0} convection-diffusion system:", a.rows());
-    let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity);
-    let comp = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
+    let full = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &opts, &Identity);
+    let comp = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &opts, &Identity);
     for r in [&full, &comp] {
         let err: f64 =
             r.x.iter()

@@ -43,35 +43,35 @@ fn every_storage_format_solves_the_same_system() {
 
     let base = check(
         "float64",
-        gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity),
+        gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &opts, &Identity),
     );
     for (label, iters) in [
         (
             "float32",
             check(
                 "float32",
-                gmres::<DenseStore<f32>, _>(&a, &b, &x0, &opts, &Identity),
+                gmres::<DenseStore<f32>, _, _>(&a, &b, &x0, &opts, &Identity),
             ),
         ),
         (
             "float16",
             check(
                 "float16",
-                gmres::<DenseStore<F16>, _>(&a, &b, &x0, &opts, &Identity),
+                gmres::<DenseStore<F16>, _, _>(&a, &b, &x0, &opts, &Identity),
             ),
         ),
         (
             "bfloat16",
             check(
                 "bfloat16",
-                gmres::<DenseStore<BF16>, _>(&a, &b, &x0, &opts, &Identity),
+                gmres::<DenseStore<BF16>, _, _>(&a, &b, &x0, &opts, &Identity),
             ),
         ),
         (
             "frsz2_32",
             check(
                 "frsz2_32",
-                gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity),
+                gmres::<Frsz2Store, _, _>(&a, &b, &x0, &opts, &Identity),
             ),
         ),
     ] {
@@ -93,7 +93,7 @@ fn cb_gmres_with_frsz2_21_basis_matches_f64_tolerance() {
     let x0 = vec![0.0; a.rows()];
     let opts = small_opts(1e-10);
 
-    let full = gmres::<DenseStore<f64>, _>(&a, &b, &x0, &opts, &Identity);
+    let full = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &opts, &Identity);
     assert!(full.stats.converged, "f64 baseline did not converge");
 
     let cfg = Frsz2Config::new(32, 21);
@@ -233,8 +233,8 @@ fn preconditioned_solve_reaches_tighter_targets() {
     let x0 = vec![0.0; a.rows()];
     let opts = small_opts(1e-11);
     let jac = Jacobi::new(&a);
-    let plain = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &Identity);
-    let pre = gmres::<Frsz2Store, _>(&a, &b, &x0, &opts, &jac);
+    let plain = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &opts, &Identity);
+    let pre = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &opts, &jac);
     assert!(pre.stats.converged);
     assert!(pre.stats.iterations <= plain.stats.iterations.max(1));
 }
@@ -305,8 +305,8 @@ fn solver_histories_are_reproducible_across_runs() {
     let (_, b) = manufactured_rhs(&m.matrix);
     let x0 = vec![0.0; m.matrix.rows()];
     let opts = small_opts(1e-12);
-    let r1 = gmres::<Frsz2Store, _>(&m.matrix, &b, &x0, &opts, &Identity);
-    let r2 = gmres::<Frsz2Store, _>(&m.matrix, &b, &x0, &opts, &Identity);
+    let r1 = gmres::<Frsz2Store, _, _>(&m.matrix, &b, &x0, &opts, &Identity);
+    let r2 = gmres::<Frsz2Store, _, _>(&m.matrix, &b, &x0, &opts, &Identity);
     assert_eq!(r1.history.len(), r2.history.len());
     for (p, q) in r1.history.iter().zip(&r2.history) {
         assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
@@ -324,6 +324,46 @@ fn frsz2_byte_adapter_matches_store_semantics() {
     store.write_column(0, &data);
     for (i, v) in via_bytes.iter().enumerate() {
         assert_eq!(v.to_bits(), store.load(i, 0).to_bits(), "row {i}");
+    }
+}
+
+#[test]
+fn cb_gmres_l21_history_is_format_independent_end_to_end() {
+    // The paper's headline l = 21 configuration, run with the operator
+    // held in each sparse format (CSR / ELL / SELL-C-σ / the runtime
+    // auto-selection): the bit-identity contract of `SparseMatrix`
+    // means every residual history point and every solution entry is
+    // bitwise equal — the format is a pure performance knob.
+    use frsz2_repro::spla::{auto_format, Ell, SellCSigma, SparseMatrix};
+    let a = gen::conv_diff_3d(10, 10, 10, [0.4, 0.2, 0.1], 0.2);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = small_opts(1e-10);
+    let cfg = Frsz2Config::new(32, 21);
+    let solve = |op: &dyn SparseMatrix| {
+        gmres_with(op, &b, &x0, &opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        })
+    };
+    let base = solve(&a);
+    assert!(base.stats.converged, "CSR-backed l=21 solve must converge");
+    let ell = Ell::from_csr(&a);
+    let sell = SellCSigma::from_csr(&a, 32, 256);
+    let auto = auto_format(&a).build(&a);
+    for (label, op) in [
+        ("ell", &ell as &dyn SparseMatrix),
+        ("sell-c-sigma", &sell),
+        ("auto", auto.as_ref()),
+    ] {
+        let r = solve(op);
+        assert_eq!(r.stats.iterations, base.stats.iterations, "{label}");
+        assert_eq!(r.history.len(), base.history.len(), "{label}");
+        for (p, q) in r.history.iter().zip(&base.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "{label} history");
+        }
+        for (u, v) in r.x.iter().zip(&base.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{label} solution");
+        }
     }
 }
 
