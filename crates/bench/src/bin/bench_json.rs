@@ -1,8 +1,10 @@
 //! Machine-readable perf harness: times the three paper-critical paths
 //! (SpMV in every sparse format, FRSZ2 codec round-trip, CB-GMRES
-//! solves on CSR and on the auto-selected format) at explicit thread
-//! counts and emits schema-stable `BENCH_<name>.json` files plus a
-//! combined `results/bench_json.csv`.
+//! solves on CSR and on the auto-selected format, plus the adaptive-
+//! precision stagnation pair `cb_gmres_frsz2_16_fixed` /
+//! `cb_gmres_adaptive` on a similarity-scaled operator) at explicit
+//! thread counts and emits schema-stable `BENCH_<name>.json` files
+//! plus a combined `results/bench_json.csv`.
 //!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
@@ -22,7 +24,7 @@
 use bench::json::{self, Json};
 use bench::report;
 use frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
-use krylov::{gmres_with, GmresOptions, Identity, SolveResult};
+use krylov::{adaptive_gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, SolveResult};
 use spla::{auto_format, gen, Ell, SellCSigma, SparseMatrix};
 use std::time::Instant;
 
@@ -158,11 +160,14 @@ struct CaseResult {
     mean_ms: f64,
     metrics: Vec<(String, f64)>,
     fingerprint: String,
+    /// Per-cycle basis-format trajectory (adaptive solve cases; schema
+    /// v2 optional key).
+    format_trajectory: Option<Vec<String>>,
 }
 
 impl CaseResult {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("name", Json::Str(self.name.clone())),
             ("threads", Json::Num(self.threads as f64)),
             ("runs", Json::Num(self.runs as f64)),
@@ -179,7 +184,14 @@ impl CaseResult {
                 ),
             ),
             ("fingerprint", Json::Str(self.fingerprint.clone())),
-        ])
+        ];
+        if let Some(traj) = &self.format_trajectory {
+            pairs.push((
+                "format_trajectory",
+                Json::Arr(traj.iter().map(|f| Json::Str(f.clone())).collect()),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -316,6 +328,7 @@ fn bench_spmv(args: &Args) -> (Json, Vec<CaseResult>) {
                     ("gbps".into(), bytes as f64 / (min_ms * 1e-3) / 1e9),
                 ],
                 fingerprint: fingerprint_f64s(&y),
+                format_trajectory: None,
             });
         }
     }
@@ -366,6 +379,7 @@ fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
                     ("bits_per_value".into(), cfg.bits_per_value(n)),
                 ],
                 fingerprint: fingerprint_f64s(&out),
+                format_trajectory: None,
             });
         }
     }
@@ -434,6 +448,7 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
                     ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
                 ],
                 fingerprint: h.hex(),
+                format_trajectory: None,
             });
         }
     }
@@ -443,12 +458,109 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
         &["cb_gmres_frsz2_21", "cb_gmres_frsz2_21_auto"],
         &cases,
     );
+
+    // Stagnation pair (schema v2): a PR02R-like similarity-scaled
+    // operator whose within-block exponent spread defeats frsz2_16 at
+    // this target — the fixed solve stagnates by design — against the
+    // adaptive-precision solver, which escalates
+    // frsz2_16 → frsz2_21 → frsz2_32 → float64 on explicit-residual
+    // evidence and must converge. Both run to completion at every
+    // thread count; the adaptive fingerprint also covers the
+    // escalation schedule.
+    let s2 = if args.quick { 8 } else { 12 };
+    let scaled = gen::wide_range_conv_diff(s2, s2, s2, 24, 0x5202);
+    let (_, b2) = spla::dense::manufactured_rhs(&scaled);
+    let x02 = vec![0.0; scaled.rows()];
+    let stag_opts = GmresOptions {
+        restart: 30,
+        max_iters: 1200,
+        target_rrn: 1e-10,
+        record_history: true,
+        ..GmresOptions::default()
+    };
+    let cfg16 = Frsz2Config::new(32, 16);
+    let fixed16 = || -> SolveResult {
+        gmres_with(&scaled, &b2, &x02, &stag_opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg16, rows, cols)
+        })
+    };
+    let adaptive = || -> SolveResult {
+        let aopts = AdaptiveOptions {
+            gmres: stag_opts.clone(),
+            ..AdaptiveOptions::default()
+        };
+        adaptive_gmres(&scaled, &b2, &x02, &aopts, &Identity)
+    };
+    let pair: [(&str, &dyn Fn() -> SolveResult); 2] = [
+        ("cb_gmres_frsz2_16_fixed", &fixed16),
+        ("cb_gmres_adaptive", &adaptive),
+    ];
+    for (name, run) in pair {
+        for &threads in &args.threads {
+            let mut last: Option<SolveResult> = None;
+            let samples = time_under_pool(threads, args.runs, || last = Some(run()));
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            let r = last.expect("at least one solve ran");
+            // The scenario contract — the whole point of the pair.
+            if name == "cb_gmres_adaptive" {
+                assert!(
+                    r.stats.converged,
+                    "adaptive solve failed to converge (rrn {:.2e}, trajectory {:?})",
+                    r.stats.final_rrn, r.stats.format_trajectory
+                );
+                assert!(r.stats.escalations >= 1, "adaptive never escalated");
+            } else {
+                assert!(
+                    !r.stats.converged,
+                    "fixed frsz2_16 unexpectedly converged; the counterpoint is dead"
+                );
+            }
+            let mut h = Fnv::new();
+            h.push(r.stats.iterations as u64);
+            for point in &r.history {
+                h.push(point.rrn.to_bits());
+            }
+            // Pin the escalation schedule too, not just the residuals.
+            for f in &r.stats.format_trajectory {
+                for byte in f.as_bytes() {
+                    h.push(u64::from(*byte));
+                }
+            }
+            cases.push(CaseResult {
+                name: name.into(),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("converged".into(), f64::from(u8::from(r.stats.converged))),
+                    ("iterations".into(), r.stats.iterations as f64),
+                    ("final_rrn".into(), r.stats.final_rrn),
+                    ("escalations".into(), r.stats.escalations as f64),
+                    ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
+                ],
+                fingerprint: h.hex(),
+                format_trajectory: Some(r.stats.format_trajectory.clone()),
+            });
+        }
+    }
+
     let config = vec![
         ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
         ("rows", Json::Num(a.rows() as f64)),
         ("format", Json::Str("frsz2_21".into())),
         ("auto_format", Json::Str(auto.name().into())),
         ("target_rrn", Json::Num(1e-10)),
+        (
+            "stagnation_matrix",
+            Json::Str(format!(
+                "conv_diff_3d {s2}^3 similarity-scaled (24 binades)"
+            )),
+        ),
+        ("stagnation_rows", Json::Num(scaled.rows() as f64)),
+        ("stagnation_restart", Json::Num(30.0)),
+        ("stagnation_max_iters", Json::Num(1200.0)),
     ];
     (
         emit_doc("solve", args.quick, config, &cases, "cb_gmres_frsz2_21"),

@@ -7,7 +7,9 @@
 //! LibPressio-style round-trip storage.
 
 use frsz2::{Frsz2Config, Frsz2Store};
-use krylov::{gmres, gmres_with, GmresOptions, Identity, SolveResult};
+use krylov::{
+    adaptive_gmres, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, SolveResult,
+};
 use lossy::RoundTripStore;
 use numfmt::{DenseStore, BF16, F16};
 use spla::Csr;
@@ -25,6 +27,9 @@ pub enum FormatSpec {
     },
     /// Table II codec round-trip (by registry name).
     Lossy(String),
+    /// Adaptive-precision basis: start at the bottom of
+    /// `krylov::ESCALATION_LADDER` and escalate on stagnation.
+    Adaptive,
 }
 
 impl FormatSpec {
@@ -37,6 +42,7 @@ impl FormatSpec {
             FormatSpec::BF16 => "bfloat16".into(),
             FormatSpec::Frsz2 { bits, .. } => format!("frsz2_{bits}"),
             FormatSpec::Lossy(n) => n.clone(),
+            FormatSpec::Adaptive => "adaptive".into(),
         }
     }
 }
@@ -48,6 +54,7 @@ pub fn parse(name: &str) -> Option<FormatSpec> {
         "float32" | "f32" => return Some(FormatSpec::F32),
         "float16" | "f16" => return Some(FormatSpec::F16),
         "bfloat16" | "bf16" => return Some(FormatSpec::BF16),
+        "adaptive" => return Some(FormatSpec::Adaptive),
         _ => {}
     }
     if let Some(bits) = name.strip_prefix("frsz2_") {
@@ -107,6 +114,13 @@ pub fn solve(
                 RoundTripStore::new(codec, r, c)
             })
         }
+        FormatSpec::Adaptive => {
+            let aopts = AdaptiveOptions {
+                gmres: opts.clone(),
+                ..AdaptiveOptions::default()
+            };
+            adaptive_gmres(a, b, x0, &aopts, &Identity)
+        }
     }
 }
 
@@ -131,8 +145,27 @@ mod tests {
         ));
         assert!(matches!(parse("sz3_08"), Some(FormatSpec::Lossy(_))));
         assert!(matches!(parse("zfp_fr_16"), Some(FormatSpec::Lossy(_))));
+        assert!(matches!(parse("adaptive"), Some(FormatSpec::Adaptive)));
         assert!(parse("frsz2_99").is_none());
         assert!(parse("whatever").is_none());
+    }
+
+    #[test]
+    fn adaptive_spec_solves_and_reports_trajectory() {
+        let a = spla::gen::conv_diff_3d(6, 6, 6, [0.3, 0.1, 0.0], 0.3);
+        let (_, b) = spla::dense::manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let opts = GmresOptions {
+            target_rrn: 1e-8,
+            max_iters: 800,
+            restart: 40,
+            ..GmresOptions::default()
+        };
+        let r = solve(&a, &b, &x0, &opts, &FormatSpec::Adaptive);
+        assert!(r.stats.converged, "rrn {}", r.stats.final_rrn);
+        assert!(r.stats.final_rrn <= 1e-8);
+        assert_eq!(r.stats.format_trajectory.len(), r.stats.restarts);
+        assert_eq!(r.stats.format_trajectory[0], "frsz2_16");
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! the same key sequence, making the files diffable across PRs — they
 //! are the perf trajectory CI artifacts are judged against.
 //!
-//! # `BENCH_*.json` schema (version 1)
+//! # `BENCH_*.json` schema (version 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "bench": "spmv",                  // suite name
 //!   "quick": false,                   // quick (CI smoke) sizes?
 //!   "threads_available": 8,           // host parallelism at run time
@@ -24,7 +24,8 @@
 //!       "runs": 5,
 //!       "min_ms": 1.9, "median_ms": 2.0, "mean_ms": 2.1,
 //!       "metrics": { "gbps": 6.3 },   // case-specific numbers
-//!       "fingerprint": "5d1fe0c2…"    // determinism hash (optional)
+//!       "fingerprint": "5d1fe0c2…",   // determinism hash (optional)
+//!       "format_trajectory": ["frsz2_16", "float64"]  // optional (v2)
 //!     }
 //!   ],
 //!   "speedup": {                      // optional; present when the
@@ -38,10 +39,17 @@
 //! output; the harness fails if it differs across thread counts, so CI
 //! enforces the determinism contract, not just the schema.
 //!
-//! ## Schema v1 case inventory (documentation bump, PR 3)
+//! ## Schema v2 (adaptive-precision solve cases)
 //!
-//! The structural schema is unchanged, but the harness now emits more
-//! cases per suite:
+//! Version 2 adds one optional per-case key: `format_trajectory`, an
+//! array of non-empty strings recording the basis storage format of
+//! each executed restart cycle (`SolveStats::format_trajectory`).
+//! Adaptive solve cases emit it; fixed-format cases omit it. The
+//! trajectory participates in the case fingerprint, so an escalation-
+//! schedule divergence across thread counts fails the run just like a
+//! residual divergence.
+//!
+//! ## Case inventory
 //!
 //! * `spmv` — one case per sparse format on the *same* matrix and
 //!   input vector: `spmv_csr`, `spmv_ell`, `spmv_sell` (SELL-32-256).
@@ -53,7 +61,11 @@
 //! * `solve` — `cb_gmres_frsz2_21` (CSR operator) and
 //!   `cb_gmres_frsz2_21_auto` (auto-selected format). Both fingerprint
 //!   the full residual history and MUST agree: solver convergence is
-//!   independent of the matrix format.
+//!   independent of the matrix format. Since v2 the suite also runs a
+//!   stagnation pair on a PR02R-like similarity-scaled operator:
+//!   `cb_gmres_frsz2_16_fixed` (stagnates by design; the harness
+//!   asserts `converged == 0`) and `cb_gmres_adaptive` (escalating
+//!   basis; must converge, `metrics.escalations ≥ 1`).
 
 use std::fmt;
 
@@ -362,7 +374,7 @@ impl Parser<'_> {
 }
 
 /// Current `BENCH_*.json` schema version.
-pub const BENCH_SCHEMA_VERSION: f64 = 1.0;
+pub const BENCH_SCHEMA_VERSION: f64 = 2.0;
 
 fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
     v.get(key)
@@ -436,6 +448,18 @@ pub fn validate_bench(doc: &Json) -> Result<usize, String> {
                 return Err(format!("{ctx}: \"fingerprint\" must be a string"));
             }
         }
+        if let Some(traj) = case.get("format_trajectory") {
+            let entries = traj
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: \"format_trajectory\" must be an array"))?;
+            for (k, e) in entries.iter().enumerate() {
+                if e.as_str().is_none_or(str::is_empty) {
+                    return Err(format!(
+                        "{ctx}: format_trajectory[{k}] must be a non-empty string"
+                    ));
+                }
+            }
+        }
     }
     if let Some(speedup) = doc.get("speedup") {
         speedup
@@ -455,7 +479,7 @@ mod tests {
 
     fn sample_doc() -> Json {
         Json::obj(vec![
-            ("schema_version", Json::Num(1.0)),
+            ("schema_version", Json::Num(2.0)),
             ("bench", Json::Str("spmv".into())),
             ("quick", Json::Bool(true)),
             ("threads_available", Json::Num(4.0)),
@@ -507,6 +531,36 @@ mod tests {
     }
 
     #[test]
+    fn validator_checks_format_trajectory_shape() {
+        let add_traj = |traj: Json| {
+            let mut doc = sample_doc();
+            if let Json::Obj(pairs) = &mut doc {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "cases" {
+                        if let Json::Arr(cases) = v {
+                            if let Json::Obj(case) = &mut cases[0] {
+                                case.push(("format_trajectory".into(), traj));
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            doc
+        };
+        let good = add_traj(Json::Arr(vec![
+            Json::Str("frsz2_16".into()),
+            Json::Str("float64".into()),
+        ]));
+        assert_eq!(validate_bench(&good), Ok(1));
+        // An empty trajectory is valid (a solve may converge with no cycle).
+        assert_eq!(validate_bench(&add_traj(Json::Arr(vec![]))), Ok(1));
+        assert!(validate_bench(&add_traj(Json::Str("frsz2_16".into()))).is_err());
+        assert!(validate_bench(&add_traj(Json::Arr(vec![Json::Num(1.0)]))).is_err());
+        assert!(validate_bench(&add_traj(Json::Arr(vec![Json::Str(String::new())]))).is_err());
+    }
+
+    #[test]
     fn validator_rejects_broken_documents() {
         let mut missing_cases = sample_doc();
         if let Json::Obj(pairs) = &mut missing_cases {
@@ -517,7 +571,7 @@ mod tests {
         let wrong_version = parse(
             &sample_doc()
                 .to_string()
-                .replace("\"schema_version\": 1", "\"schema_version\": 2"),
+                .replace("\"schema_version\": 2", "\"schema_version\": 1"),
         )
         .unwrap();
         assert!(validate_bench(&wrong_version).is_err());

@@ -159,6 +159,10 @@ pub fn convergence_histories(
 }
 
 /// Emit residual histories in long CSV form and print the run summary.
+///
+/// Histories may be empty (`record_history: false`): all per-history
+/// columns go through the guarded [`krylov::history_summary`] — this
+/// path must never index or `unwrap()` a history point.
 pub fn report_histories(csv_name: &str, runs: &[(String, SolveResult)]) {
     let mut rows = Vec::new();
     for (name, r) in runs {
@@ -176,12 +180,15 @@ pub fn report_histories(csv_name: &str, runs: &[(String, SolveResult)]) {
     let summary: Vec<Vec<String>> = runs
         .iter()
         .map(|(name, r)| {
+            let h = krylov::history_summary(&r.history);
             vec![
                 name.clone(),
                 r.stats.iterations.to_string(),
                 if r.stats.converged { "yes" } else { "NO" }.to_string(),
                 format!("{:.2e}", r.stats.final_rrn),
                 format!("{:.1}", r.stats.basis_bits_per_value),
+                h.implicit_explicit_gap
+                    .map_or_else(|| "-".to_string(), |g| format!("{g:.2}")),
             ]
         })
         .collect();
@@ -192,6 +199,7 @@ pub fn report_histories(csv_name: &str, runs: &[(String, SolveResult)]) {
             "converged",
             "final_rrn",
             "bits/value",
+            "restart_gap",
         ],
         &summary,
     );
@@ -222,5 +230,28 @@ mod tests {
             ..Cli::default()
         };
         assert_eq!(cli.matrices(), vec!["cfd2"]);
+    }
+
+    #[test]
+    fn report_histories_tolerates_disabled_history() {
+        // Regression: `record_history: false` produces empty histories;
+        // the whole report path (CSV + summary table with the guarded
+        // restart-gap column) must not panic on them.
+        let cli = Cli {
+            scale: 0.15,
+            ..Cli::default()
+        };
+        let p = prepare("atmosmodd", &cli);
+        let opts = GmresOptions {
+            record_history: false,
+            target_rrn: 1e-6,
+            max_iters: 300,
+            ..GmresOptions::default()
+        };
+        let spec = crate::formats::parse("frsz2_32").unwrap();
+        let r = solve_problem(&p, &opts, &spec);
+        assert!(r.history.is_empty());
+        report_histories("test_empty_history", &[("frsz2_32".into(), r)]);
+        let _ = std::fs::remove_file("results/test_empty_history.csv");
     }
 }

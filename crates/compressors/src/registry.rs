@@ -107,6 +107,32 @@ pub fn names() -> Vec<&'static str> {
     v
 }
 
+/// Worst-case absolute error a codec may introduce into a unit-scale
+/// value (`|x| ≤ 1`, the Krylov-basis regime: columns are unit-norm).
+///
+/// This is the storage-accuracy floor the adaptive-precision solver
+/// uses to order codecs against the FRSZ2/cast escalation ladder:
+/// absolute-bound codecs report their bound verbatim, pointwise-relative
+/// codecs their bound (which at `|x| = 1` is the absolute error), and
+/// fixed-rate ZFP the precision its kept bit planes achieve in *this*
+/// implementation (~10 effective significand bits at 16 bits/value,
+/// ~26 at 32), pinned to measured round-trip error by
+/// `accuracy_floor_is_an_actual_bound_on_unit_scale_roundtrips`.
+/// Returns `None` for unknown names.
+pub fn accuracy_floor(name: &str) -> Option<f64> {
+    Some(match name {
+        "sz_06" | "sz3_06" => 1e-6,
+        "sz_07" | "sz3_07" => 1e-7,
+        "sz_08" | "sz3_08" => 1e-8,
+        "zfp_06" => 1.4e-6,
+        "zfp_10" => 4.0e-10,
+        "sz_pwrel_04" | "sz3_pwrel_04" => 1e-4,
+        "zfp_fr_16" => f64::powi(2.0, -10),
+        "zfp_fr_32" => f64::powi(2.0, -26),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +162,48 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(by_name("definitely_not_a_codec").is_none());
+        assert!(accuracy_floor("definitely_not_a_codec").is_none());
+    }
+
+    #[test]
+    fn every_registered_name_has_a_positive_accuracy_floor() {
+        for name in names() {
+            let floor =
+                accuracy_floor(name).unwrap_or_else(|| panic!("{name} missing an accuracy floor"));
+            assert!(floor > 0.0 && floor < 1.0, "{name}: floor {floor}");
+        }
+    }
+
+    #[test]
+    fn accuracy_floor_is_an_actual_bound_on_unit_scale_roundtrips() {
+        // The floor table is maintained by hand next to `by_name`; this
+        // pins it to reality so a codec whose bound changes (or a
+        // copy-pasted floor row) fails here instead of silently
+        // reordering the adaptive escalation ladder. Unit-scale data is
+        // the Krylov regime the floor is defined for.
+        let data: Vec<f64> = (0..2048)
+            .map(|i| ((i as f64 * 0.37).sin() * 0.9) + 0.05 * (i as f64 * 7.13).cos())
+            .collect();
+        for name in names() {
+            let floor = accuracy_floor(name).unwrap();
+            let c = by_name(name).unwrap();
+            let out = c.decompress(&c.compress(&data), data.len());
+            let max_err = data
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= floor,
+                "{name}: observed error {max_err:e} exceeds advertised floor {floor:e}"
+            );
+            // And the floor is not wildly pessimistic either — within
+            // five orders of the observed worst case.
+            assert!(
+                floor <= max_err.max(f64::MIN_POSITIVE) * 1e5,
+                "{name}: floor {floor:e} is detached from observed error {max_err:e}"
+            );
+        }
     }
 
     #[test]

@@ -33,9 +33,14 @@ impl RoundTripStore {
     }
 
     /// Average achieved compression rate over all column writes so far.
+    ///
+    /// Before the first column write nothing has been compressed, so the
+    /// average is defined as 0.0 — never the `0/0 = NaN` the naive
+    /// quotient would produce (callers such as `column_bytes` and the
+    /// solver's byte counters must stay finite from the first query).
     pub fn average_bits_per_value(&self) -> f64 {
         if self.values_written == 0 {
-            64.0
+            0.0
         } else {
             self.bits_written as f64 / self.values_written as f64
         }
@@ -141,5 +146,19 @@ mod tests {
     #[should_panic(expected = "needs a codec")]
     fn with_shape_is_rejected() {
         let _ = RoundTripStore::with_shape(4, 4);
+    }
+
+    #[test]
+    fn rate_before_any_write_is_zero_not_nan() {
+        let codec = Arc::new(Sz3Compressor::new(1e-6));
+        let st = RoundTripStore::new(codec, 128, 2);
+        assert_eq!(st.average_bits_per_value(), 0.0);
+        assert!(!st.average_bits_per_value().is_nan());
+        assert_eq!(st.column_bytes(), 0);
+        assert_eq!(st.bits_per_value(), 0.0);
+        // The zero-row corner must be finite too (0/0 guards).
+        let empty = RoundTripStore::new(Arc::new(Sz3Compressor::new(1e-6)), 0, 1);
+        assert_eq!(empty.average_bits_per_value(), 0.0);
+        assert!(!empty.bits_per_value().is_nan());
     }
 }

@@ -1,0 +1,316 @@
+//! Adaptive-precision CB-GMRES: escalate the basis storage format when
+//! the *explicit* residual stops improving.
+//!
+//! A fixed lossy basis caps the reachable residual at its
+//! storage-accuracy floor: below it the implicit Givens estimate keeps
+//! shrinking (it cannot see the compression loss) while the explicit
+//! `‖b − Ax‖/‖b‖` stagnates — the Fig. 9a implicit/explicit gap, and
+//! the false-convergence bug class this module exists to kill.
+//! Compressed Basis GMRES (Aliaga et al., arXiv:2009.12101) observes
+//! that the storage precision only needs to match the *current*
+//! residual: early cycles tolerate aggressive compression, and
+//! precision is only paid for once the residual has earned it.
+//!
+//! [`adaptive_gmres`] implements that schedule as a driver over the
+//! cycle-granular core shared with [`crate::gmres::gmres_with`]: run
+//! one restart cycle, recompute the explicit residual, and **escalate**
+//! the format along [`crate::basis_format::ESCALATION_LADDER`]
+//! (`frsz2_16 → frsz2_21 → frsz2_32 → float64`) when the cycle shows
+//! stagnation. Escalation happens at most once per restart boundary,
+//! carries `x` across the switch (only the basis store is rebuilt —
+//! basis vectors never survive a restart anyway), and is recorded in
+//! [`crate::SolveStats::format_trajectory`]. All decisions are pure functions
+//! of deterministically-computed residuals, so adaptive solves inherit
+//! the workspace-wide bit-identical-across-thread-counts contract.
+
+use crate::basis_format::{self, BasisFormat};
+use crate::gmres::{solve_driver, GmresOptions, SolveResult};
+use crate::precond::Preconditioner;
+use spla::SparseMatrix;
+
+/// Options of [`adaptive_gmres`]: the base GMRES options plus the
+/// escalation policy.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOptions {
+    /// The underlying solver options (restart length, target, ...).
+    pub gmres: GmresOptions,
+    /// Starting format name (resolved via [`basis_format::by_name`]).
+    /// `None` starts at the bottom of the escalation ladder
+    /// (`frsz2_16`): optimistic storage, evidence-driven escalation.
+    pub start_format: Option<String>,
+    /// A cycle is *stagnant* when it improves the explicit residual by
+    /// less than this factor (`previous_rrn / current_rrn <
+    /// min_cycle_improvement`). A healthy restart cycle improves by
+    /// orders of magnitude; at a storage floor the ratio sits near 1.
+    pub min_cycle_improvement: f64,
+    /// A cycle is *lying* when the explicit residual exceeds the last
+    /// implicit estimate by more than this factor — the implicit/
+    /// explicit gap that precedes false convergence.
+    pub max_implicit_explicit_gap: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            gmres: GmresOptions::default(),
+            start_format: None,
+            min_cycle_improvement: 1.5,
+            max_implicit_explicit_gap: 10.0,
+        }
+    }
+}
+
+/// Why the driver decided to escalate after a cycle (diagnostic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stagnation {
+    /// Explicit residual improved by less than `min_cycle_improvement`.
+    FlatCycle,
+    /// Implicit estimate crossed the target but the explicit residual
+    /// did not (the false-convergence signature).
+    FalseConvergence,
+    /// Explicit exceeds implicit by more than the allowed gap.
+    ImplicitGap,
+}
+
+/// Decide whether the just-finished cycle stagnated. Pure function of
+/// deterministic residuals — no wall-clock, no randomness — so the
+/// escalation schedule is reproducible bit for bit.
+fn stagnation(
+    opts: &AdaptiveOptions,
+    prev_explicit: f64,
+    explicit: f64,
+    last_implicit: Option<f64>,
+) -> Option<Stagnation> {
+    let gap = opts.max_implicit_explicit_gap;
+    if let Some(implicit) = last_implicit {
+        // The implicit estimate claimed the target but the explicit
+        // residual missed it by more than the allowed gap. (A healthy
+        // cycle that breaks on the implicit test lands the explicit
+        // residual within rounding of the target — that is convergence
+        // pending the next boundary check, not stagnation.)
+        if implicit <= opts.gmres.target_rrn && explicit > gap * opts.gmres.target_rrn {
+            return Some(Stagnation::FalseConvergence);
+        }
+        if implicit > 0.0 && explicit > gap * implicit {
+            return Some(Stagnation::ImplicitGap);
+        }
+    }
+    if explicit > 0.0 && prev_explicit / explicit < opts.min_cycle_improvement {
+        return Some(Stagnation::FlatCycle);
+    }
+    None
+}
+
+/// Solve `A x = b` with restarted CB-GMRES whose basis format starts
+/// cheap and escalates on stagnation (see module docs).
+///
+/// Semantics shared with [`crate::gmres::gmres`]: `converged` is
+/// decided exclusively from the explicit residual, the history mixes
+/// implicit points with explicit restart-boundary points, and the
+/// residual history is bit-identical for any thread count. Extra
+/// reporting: [`crate::SolveStats::format_trajectory`] holds the format of
+/// every executed cycle and [`crate::SolveStats::escalations`] counts the
+/// switches; [`crate::SolveStats::format`] is the final (strongest) format.
+pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &AdaptiveOptions,
+    precond: &P,
+) -> SolveResult {
+    let n = a.rows();
+    assert!(opts.min_cycle_improvement >= 1.0);
+    assert!(opts.max_implicit_explicit_gap >= 1.0);
+    let m = opts.gmres.restart;
+
+    let mut format: Box<dyn BasisFormat> = match &opts.start_format {
+        Some(name) => {
+            basis_format::by_name(name).unwrap_or_else(|| panic!("unknown basis format {name}"))
+        }
+        None => basis_format::by_name(basis_format::ESCALATION_LADDER[0])
+            .expect("ladder base is registered"),
+    };
+    let basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+
+    // The shared driver loop owns all boundary semantics (explicit-only
+    // convergence, non-finite and max_iters guards); this hook adds the
+    // escalation decision — at most one rung per restart boundary,
+    // judged on the cycle that just finished.
+    solve_driver(
+        a,
+        b,
+        x0,
+        &opts.gmres,
+        precond,
+        basis,
+        |boundary, basis, stats| {
+            let Some(prev) = boundary.prev_explicit_rrn else {
+                return; // first boundary: no finished cycle to judge
+            };
+            if stagnation(
+                opts,
+                prev,
+                boundary.explicit_rrn,
+                boundary.last_implicit_rrn,
+            )
+            .is_none()
+            {
+                return;
+            }
+            if let Some(next) = basis_format::escalate(&format.name()) {
+                format = basis_format::by_name(&next).expect("escalation targets are registered");
+                *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                stats.escalations += 1;
+                stats.format = basis.format_name();
+            }
+            // Already at the top: nothing stronger to switch to; keep
+            // iterating toward max_iters honestly.
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmres::gmres_with;
+    use crate::precond::Identity;
+    use frsz2::{Frsz2Config, Frsz2Store};
+    use spla::dense::manufactured_rhs;
+    use spla::gen;
+
+    fn adaptive_opts(target: f64, max_iters: usize, restart: usize) -> AdaptiveOptions {
+        AdaptiveOptions {
+            gmres: GmresOptions {
+                target_rrn: target,
+                max_iters,
+                restart,
+                ..GmresOptions::default()
+            },
+            ..AdaptiveOptions::default()
+        }
+    }
+
+    /// The PR02R regime (§VI-A): genuine stagnation for narrow FRSZ2,
+    /// not just slow convergence (see [`gen::wide_range_conv_diff`]).
+    fn wide_range_system() -> (spla::Csr, Vec<f64>) {
+        let a = gen::wide_range_conv_diff(8, 8, 8, 24, 0x5202);
+        let (_, b) = manufactured_rhs(&a);
+        (a, b)
+    }
+
+    #[test]
+    fn converges_where_fixed_frsz2_16_stagnates() {
+        // The acceptance scenario: target far below what frsz2_16 can
+        // reach on a wide-dynamic-range operator. Fixed frsz2_16
+        // stagnates to max_iters; adaptive escalates through the
+        // ladder and converges.
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+
+        let cfg = Frsz2Config::new(32, 16);
+        let fixed = gmres_with(&a, &b, &x0, &opts.gmres, &Identity, |r, c| {
+            Frsz2Store::with_config(cfg, r, c)
+        });
+        assert!(
+            !fixed.stats.converged,
+            "fixed frsz2_16 unexpectedly reached 1e-10 (rrn {:.2e})",
+            fixed.stats.final_rrn
+        );
+
+        let adaptive = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(
+            adaptive.stats.converged,
+            "adaptive stalled at rrn {:.2e} (trajectory {:?})",
+            adaptive.stats.final_rrn, adaptive.stats.format_trajectory
+        );
+        assert!(adaptive.stats.final_rrn <= 1e-10);
+        assert!(adaptive.stats.escalations >= 1, "must have escalated");
+        // Trajectory bookkeeping: one entry per executed cycle, walking
+        // the ladder monotonically, starting at the base.
+        assert_eq!(
+            adaptive.stats.format_trajectory.len(),
+            adaptive.stats.restarts
+        );
+        assert_eq!(adaptive.stats.format_trajectory[0], "frsz2_16");
+        let ladder = crate::basis_format::ESCALATION_LADDER;
+        let rungs: Vec<usize> = adaptive
+            .stats
+            .format_trajectory
+            .iter()
+            .map(|f| ladder.iter().position(|l| l == f).expect("on-ladder"))
+            .collect();
+        for pair in rungs.windows(2) {
+            assert!(
+                pair[1] == pair[0] || pair[1] == pair[0] + 1,
+                "escalation must be at most one rung per restart boundary: {:?}",
+                adaptive.stats.format_trajectory
+            );
+        }
+        assert_eq!(
+            adaptive.stats.escalations,
+            rungs.windows(2).filter(|p| p[1] != p[0]).count()
+        );
+        // The final format is the strongest one used.
+        assert_eq!(
+            &adaptive.stats.format,
+            adaptive.stats.format_trajectory.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn easy_target_never_escalates() {
+        // Above the frsz2_16 floor there is no stagnation evidence, so
+        // the solve finishes entirely in the cheapest format.
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-3, 1000, 50);
+        let r = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.escalations, 0);
+        assert!(r.stats.format_trajectory.iter().all(|f| f == "frsz2_16"));
+    }
+
+    #[test]
+    fn explicit_start_format_is_respected() {
+        let a = gen::conv_diff_3d(6, 6, 6, [0.2, 0.1, 0.0], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let mut opts = adaptive_opts(1e-10, 1000, 40);
+        opts.start_format = Some("float64".into());
+        let r = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.escalations, 0);
+        assert!(r.stats.format_trajectory.iter().all(|f| f == "float64"));
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = spla::Csr::identity(10);
+        let opts = adaptive_opts(1e-12, 100, 10);
+        let r = adaptive_gmres(&a, &[0.0; 10], &[1.0; 10], &opts, &Identity);
+        assert!(r.stats.converged);
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert!(r.stats.format_trajectory.is_empty());
+    }
+
+    #[test]
+    fn adaptive_solver_is_deterministic() {
+        // Uses the stagnating system so the escalation schedule itself
+        // is part of what must reproduce.
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+        let r1 = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        let r2 = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert_eq!(r1.stats.format_trajectory, r2.stats.format_trajectory);
+        assert_eq!(r1.history.len(), r2.history.len());
+        for (p, q) in r1.history.iter().zip(&r2.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+        }
+        for (u, v) in r1.x.iter().zip(&r2.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,11 +1,58 @@
 //! Convergence diagnostics: Krylov-vector snapshots for the Fig. 2
-//! decorrelation analysis.
+//! decorrelation analysis, and guarded convergence-history summaries.
 
-use crate::gmres::{gmres, GmresOptions};
+use crate::gmres::{gmres, GmresOptions, HistoryPoint};
 use crate::precond::Identity;
 use numfmt::ColumnStorage;
 use spla::stats;
 use spla::SparseMatrix;
+
+/// Summary of a recorded convergence history.
+///
+/// Every field is optional because a history may legitimately be empty
+/// (`record_history: false`, or a solve that converged at iteration 0):
+/// consumers must never index or `last().unwrap()` a history directly —
+/// this summary is the guarded access path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistorySummary {
+    /// Total recorded points.
+    pub points: usize,
+    /// The last recorded point of any kind.
+    pub last: Option<HistoryPoint>,
+    /// The last explicitly recomputed residual (restart boundaries).
+    pub last_explicit: Option<HistoryPoint>,
+    /// The last implicit Givens estimate.
+    pub last_implicit: Option<HistoryPoint>,
+    /// `last_explicit.rrn / preceding implicit rrn` — the Fig. 9a
+    /// restart-correction factor. `None` when either side is missing
+    /// or the implicit estimate is zero.
+    pub implicit_explicit_gap: Option<f64>,
+}
+
+/// Summarize a convergence history. Total function: any slice —
+/// including the empty one — yields a well-defined summary, so callers
+/// downstream of `record_history: false` cannot panic.
+pub fn history_summary(history: &[HistoryPoint]) -> HistorySummary {
+    let mut summary = HistorySummary {
+        points: history.len(),
+        ..HistorySummary::default()
+    };
+    let mut preceding_implicit: Option<f64> = None;
+    for p in history {
+        if p.explicit {
+            summary.implicit_explicit_gap = match preceding_implicit {
+                Some(imp) if imp > 0.0 => Some(p.rrn / imp),
+                _ => None,
+            };
+            summary.last_explicit = Some(*p);
+        } else {
+            preceding_implicit = Some(p.rrn);
+            summary.last_implicit = Some(*p);
+        }
+        summary.last = Some(*p);
+    }
+    summary
+}
 
 /// A captured Krylov basis vector with the paper's Fig. 2 statistics.
 #[derive(Clone, Debug)]
@@ -89,5 +136,58 @@ mod tests {
         // Identity converges immediately; iteration 50 is never reached.
         let s = krylov_snapshot::<DenseStore<f64>, _>(&a, &b, 50, 16);
         assert!(s.is_none());
+    }
+
+    #[test]
+    fn history_summary_of_empty_history_is_all_none() {
+        // The `record_history: false` contract: everything downstream
+        // must tolerate an empty history.
+        let s = history_summary(&[]);
+        assert_eq!(s.points, 0);
+        assert!(s.last.is_none());
+        assert!(s.last_explicit.is_none());
+        assert!(s.last_implicit.is_none());
+        assert!(s.implicit_explicit_gap.is_none());
+    }
+
+    #[test]
+    fn history_summary_tracks_kinds_and_restart_gap() {
+        let pt = |iteration, rrn, explicit| HistoryPoint {
+            iteration,
+            rrn,
+            explicit,
+        };
+        let h = vec![
+            pt(0, 1.0, true),
+            pt(1, 1e-3, false),
+            pt(2, 1e-6, false),
+            pt(2, 1e-4, true), // restart correction: 100x off the implicit
+            pt(3, 5e-5, false),
+        ];
+        let s = history_summary(&h);
+        assert_eq!(s.points, 5);
+        assert_eq!(s.last, Some(pt(3, 5e-5, false)));
+        assert_eq!(s.last_explicit, Some(pt(2, 1e-4, true)));
+        assert_eq!(s.last_implicit, Some(pt(3, 5e-5, false)));
+        let gap = s.implicit_explicit_gap.unwrap();
+        assert!((gap - 100.0).abs() < 1e-9, "gap {gap}");
+    }
+
+    #[test]
+    fn solve_without_history_produces_empty_but_valid_summary() {
+        let a = gen::conv_diff_3d(6, 6, 6, [0.2, 0.1, 0.0], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let opts = GmresOptions {
+            record_history: false,
+            target_rrn: 1e-8,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; 216], &opts, &Identity);
+        assert!(r.stats.converged);
+        assert!(r.history.is_empty());
+        let s = history_summary(&r.history);
+        assert_eq!(s, HistorySummary::default());
+        // The honest residual lives in stats, independent of history.
+        assert!(r.stats.final_rrn <= 1e-8);
     }
 }

@@ -71,6 +71,9 @@ pub struct SolveStats {
     pub restarts: usize,
     pub reorthogonalizations: usize,
     pub breakdowns: usize,
+    /// Set **only** from an explicitly recomputed `‖b − Ax‖/‖b‖ ≤
+    /// target_rrn` — never from the implicit Givens estimate, whose
+    /// drift under lossy storage is exactly the Fig. 9a gap.
     pub converged: bool,
     /// Explicit relative residual norm of the returned solution.
     pub final_rrn: f64,
@@ -81,10 +84,18 @@ pub struct SolveStats {
     pub basis_bytes_written: u64,
     /// Number of sparse matrix–vector products.
     pub spmv_count: u64,
-    /// Storage format label of the Krylov basis.
+    /// Storage format label of the Krylov basis (the final one, for
+    /// adaptive solves).
     pub format: String,
     /// Average stored bits per basis value (Eq. 3 for FRSZ2).
     pub basis_bits_per_value: f64,
+    /// Storage format of each executed restart cycle, in order. For a
+    /// fixed-format solve every entry is the same; `adaptive_gmres`
+    /// records its escalation trajectory here.
+    pub format_trajectory: Vec<String>,
+    /// Number of basis-format escalations performed (adaptive solves;
+    /// always 0 for fixed-format solves).
+    pub escalations: usize,
 }
 
 /// Result of [`gmres`].
@@ -107,6 +118,264 @@ fn givens(a: f64, b: f64) -> (f64, f64) {
         let r = a.hypot(b);
         (a / r, b / r)
     }
+}
+
+/// Work buffers of one restart cycle, allocated once per solve and
+/// reused across cycles (and across basis-format switches in
+/// `adaptive_gmres` — the buffers depend only on `(n, m)`, not on the
+/// storage format).
+pub(crate) struct Workspace {
+    pub(crate) r: Vec<f64>,
+    w: Vec<f64>,
+    z: Vec<f64>,
+    vj: Vec<f64>,
+    h: Vec<f64>,
+    u: Vec<f64>,
+    neg: Vec<f64>,
+    hess: Vec<f64>, // column-major, ld = m+1
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
+    m: usize,
+    ld: usize,
+}
+
+impl Workspace {
+    pub(crate) fn new(n: usize, m: usize) -> Self {
+        Workspace {
+            r: vec![0.0; n],
+            w: vec![0.0; n],
+            z: vec![0.0; n],
+            vj: vec![0.0; n],
+            h: vec![0.0; m + 1],
+            u: vec![0.0; m + 1],
+            neg: vec![0.0; m + 1],
+            hess: vec![0.0; (m + 1) * m],
+            cs: vec![0.0; m],
+            sn: vec![0.0; m],
+            g: vec![0.0; m + 1],
+            m,
+            ld: m + 1,
+        }
+    }
+
+    /// Explicit residual `r = b − A x`; returns `‖r‖₂`. The one
+    /// residual the convergence decision may trust.
+    pub(crate) fn explicit_residual<A: SparseMatrix + ?Sized>(
+        &mut self,
+        a: &A,
+        b: &[f64],
+        x: &[f64],
+        stats: &mut SolveStats,
+    ) -> f64 {
+        a.spmv(x, &mut self.w);
+        stats.spmv_count += 1;
+        sub(b, &self.w, &mut self.r);
+        norm2(&self.r)
+    }
+}
+
+/// What one restart cycle did (consumed by the drivers — `gmres_with`
+/// and `adaptive_gmres` — which own the explicit-residual loop).
+pub(crate) struct CycleOutcome {
+    /// Inner iterations executed (Hessenberg columns recorded).
+    pub(crate) steps: usize,
+    /// The cycle ended on a (possibly non-finite) breakdown.
+    pub(crate) breakdown: bool,
+    /// A non-finite Hessenberg entry was detected; the poisoned column
+    /// was discarded rather than propagated (NaN-spin guard).
+    pub(crate) non_finite: bool,
+    /// Implicit Givens residual estimate after the last recorded
+    /// column (`None` when the cycle recorded nothing).
+    pub(crate) last_implicit_rrn: Option<f64>,
+}
+
+/// Run ONE restart cycle of Fig. 1 (steps 1–17): seed the basis with
+/// the entering residual `ws.r` (unnormalized, `‖ws.r‖ = beta`), build
+/// up to `m` Krylov vectors, and apply the least-squares update to `x`.
+///
+/// The caller owns the explicit-residual bookkeeping of steps 1/18; the
+/// cycle only pushes *implicit* history points. `stats.converged` is
+/// never touched here — convergence is decided exclusively by the
+/// driver from the explicit residual.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    precond: &P,
+    opts: &GmresOptions,
+    basis: &mut Basis<S>,
+    ws: &mut Workspace,
+    x: &mut [f64],
+    beta: f64,
+    bnorm: f64,
+    stats: &mut SolveStats,
+    history: &mut Vec<HistoryPoint>,
+    captured: &mut Option<Vec<f64>>,
+) -> CycleOutcome {
+    let n = x.len();
+    let m = ws.m;
+    let ld = ws.ld;
+    let mut outcome = CycleOutcome {
+        steps: 0,
+        breakdown: false,
+        non_finite: false,
+        last_implicit_rrn: None,
+    };
+
+    // v1 = r / beta, stored compressed (step 1).
+    scale(1.0 / beta, &mut ws.r);
+    basis.write(0, &ws.r);
+    // Queried after the first write: round-trip stores only know their
+    // achieved rate once a column has actually been compressed.
+    let col_bytes = basis.column_bytes() as u64;
+    stats.basis_bytes_written += col_bytes;
+    if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+        let mut cap = vec![0.0; n];
+        basis.read_column(0, &mut cap);
+        *captured = Some(cap);
+    }
+    ws.g.fill(0.0);
+    ws.g[0] = beta;
+
+    let mut j = 0;
+    // Steps 2-15: build the Krylov basis.
+    while j < m && stats.iterations < opts.max_iters {
+        // Step 3: w = A (M^-1 v_j); v_j decompressed via the accessor.
+        basis.read_column(j, &mut ws.vj);
+        stats.basis_bytes_read += col_bytes;
+        precond.apply(&ws.vj, &mut ws.z);
+        a.spmv(&ws.z, &mut ws.w);
+        stats.spmv_count += 1;
+
+        // Step 4.
+        let omega = norm2(&ws.w);
+
+        // Step 5: classical Gram-Schmidt against the compressed basis.
+        basis.dots(j + 1, &ws.w, &mut ws.h[..j + 1]);
+        for i in 0..=j {
+            ws.neg[i] = -ws.h[i];
+        }
+        basis.axpys(j + 1, &ws.neg, &mut ws.w);
+        stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+
+        // Step 6.
+        let mut hj1 = norm2(&ws.w);
+
+        // Steps 7-11: DGKS re-orthogonalization. The breakdown test of
+        // step 12 compares against the norm *entering the second pass*
+        // ("twice is enough"): if the second pass removes most of what
+        // remained, w is numerically in span(V) and the basis cannot
+        // grow.
+        let mut broke_down = hj1 == 0.0;
+        if !broke_down && hj1 < opts.reorth_eta * omega {
+            let before = hj1;
+            basis.dots(j + 1, &ws.w, &mut ws.u[..j + 1]);
+            for i in 0..=j {
+                ws.neg[i] = -ws.u[i];
+                ws.h[i] += ws.u[i]; // step 9
+            }
+            basis.axpys(j + 1, &ws.neg, &mut ws.w);
+            stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+            hj1 = norm2(&ws.w); // step 10
+            stats.reorthogonalizations += 1;
+            broke_down = hj1 == 0.0 || hj1 < opts.reorth_eta * before; // step 12
+        }
+
+        // NaN-spin guard: a non-finite Hessenberg entry (overflow in
+        // ‖w‖² or in the Gram-Schmidt products from a pathological
+        // operator) would poison the Givens recurrence with NaN and
+        // make every later stopping test compare false, spinning the
+        // solver to `max_iters`. Detect it here, count it as a
+        // breakdown, and end the cycle WITHOUT recording the poisoned
+        // column — the least-squares solve below then runs on the `j`
+        // columns that are still finite.
+        if !hj1.is_finite() || !omega.is_finite() || ws.h[..=j].iter().any(|v| !v.is_finite()) {
+            stats.breakdowns += 1;
+            outcome.breakdown = true;
+            outcome.non_finite = true;
+            break;
+        }
+
+        // Record the Hessenberg column (step 16 assembles these).
+        for i in 0..=j {
+            ws.hess[j * ld + i] = ws.h[i];
+        }
+        ws.hess[j * ld + j + 1] = hj1;
+
+        // Least-squares update: apply previous rotations, then a new one.
+        for i in 0..j {
+            let (hi, hi1) = (ws.hess[j * ld + i], ws.hess[j * ld + i + 1]);
+            ws.hess[j * ld + i] = ws.cs[i] * hi + ws.sn[i] * hi1;
+            ws.hess[j * ld + i + 1] = -ws.sn[i] * hi + ws.cs[i] * hi1;
+        }
+        let (c, s) = givens(ws.hess[j * ld + j], ws.hess[j * ld + j + 1]);
+        ws.cs[j] = c;
+        ws.sn[j] = s;
+        ws.hess[j * ld + j] = c * ws.hess[j * ld + j] + s * ws.hess[j * ld + j + 1];
+        ws.hess[j * ld + j + 1] = 0.0;
+        ws.g[j + 1] = -s * ws.g[j];
+        ws.g[j] *= c;
+
+        stats.iterations += 1;
+        let implicit_rrn = ws.g[j + 1].abs() / bnorm;
+        outcome.last_implicit_rrn = Some(implicit_rrn);
+        if opts.record_history {
+            history.push(HistoryPoint {
+                iteration: stats.iterations,
+                rrn: implicit_rrn,
+                explicit: false,
+            });
+        }
+
+        j += 1;
+        if broke_down {
+            stats.breakdowns += 1;
+            outcome.breakdown = true;
+            break;
+        }
+        // The implicit estimate reaching the target only ENDS THE
+        // CYCLE; it never sets `converged`. The driver re-checks the
+        // explicit residual and keeps iterating when the two disagree
+        // (the Fig. 9a implicit/explicit gap).
+        if implicit_rrn <= opts.target_rrn {
+            break;
+        }
+
+        // Step 13/14: v_{j+1} = w / h_{j+1,j}, stored compressed.
+        scale(1.0 / hj1, &mut ws.w);
+        basis.write(j, &ws.w);
+        stats.basis_bytes_written += col_bytes;
+        if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+            let mut cap = vec![0.0; n];
+            basis.read_column(j, &mut cap);
+            *captured = Some(cap);
+        }
+    }
+    outcome.steps = j;
+
+    // Step 17: y = argmin ‖beta e1 - H y‖ by back substitution on the
+    // rotated (upper-triangular) Hessenberg, then x += M^-1 (V y).
+    // A cycle that recorded nothing (immediate non-finite breakdown)
+    // has no update to apply.
+    if j >= 1 {
+        let mut y = vec![0.0; j];
+        for i in (0..j).rev() {
+            let mut acc = ws.g[i];
+            for (k, yk) in y.iter().enumerate().skip(i + 1) {
+                acc -= ws.hess[k * ld + i] * yk;
+            }
+            let d = ws.hess[i * ld + i];
+            // A zero pivot can only follow an exact breakdown; the
+            // minimizer then ignores that direction.
+            y[i] = if d != 0.0 { acc / d } else { 0.0 };
+        }
+        basis.combine(&y, &mut ws.z);
+        stats.basis_bytes_read += j as u64 * col_bytes;
+        precond.apply(&ws.z, &mut ws.vj);
+        axpy(1.0, &ws.vj, x);
+    }
+    stats.restarts += 1;
+    outcome
 }
 
 /// Solve `A x = b` with restarted GMRES, storing the Krylov basis in
@@ -141,6 +410,38 @@ pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>
     precond: &P,
     make_store: impl FnOnce(usize, usize) -> S,
 ) -> SolveResult {
+    let basis = Basis::from_store(make_store(a.rows(), opts.restart + 1));
+    solve_driver(a, b, x0, opts, precond, basis, |_, _, _| {})
+}
+
+/// Restart-boundary context handed to the [`solve_driver`] hook, for
+/// drivers that adapt between cycles (`adaptive_gmres`).
+pub(crate) struct Boundary {
+    /// Explicit `‖b − Ax‖/‖b‖` entering the next cycle.
+    pub(crate) explicit_rrn: f64,
+    /// Explicit residual that entered the *previous* cycle (`None` at
+    /// the first boundary).
+    pub(crate) prev_explicit_rrn: Option<f64>,
+    /// Last implicit Givens estimate of the previous cycle.
+    pub(crate) last_implicit_rrn: Option<f64>,
+}
+
+/// The one restarted-GMRES driver loop: explicit residual at every
+/// boundary (the ONLY place `converged` is decided — the implicit
+/// Givens estimate inside a cycle never sets it), then one
+/// [`run_cycle`]. Both public solvers are thin wrappers: `gmres_with`
+/// passes a no-op hook, `adaptive_gmres` a hook that may swap the
+/// basis store at the boundary — so their boundary semantics cannot
+/// drift apart.
+pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    precond: &P,
+    mut basis: Basis<S>,
+    mut on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
+) -> SolveResult {
     let n = a.rows();
     assert_eq!(a.cols(), n, "GMRES needs a square matrix");
     assert_eq!(b.len(), n);
@@ -152,13 +453,9 @@ pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>
     let mut stats = SolveStats::default();
     let mut history = Vec::new();
     let mut captured: Option<Vec<f64>> = None;
+    stats.format = basis.format_name();
 
     let bnorm = norm2(b);
-    let mut x = x0.to_vec();
-    let mut basis = Basis::from_store(make_store(n, m + 1));
-    stats.format = basis.format_name();
-    let col_bytes = basis.column_bytes() as u64;
-
     // b = 0: the solution is x = 0 exactly.
     if bnorm == 0.0 {
         stats.converged = true;
@@ -172,26 +469,14 @@ pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>
         };
     }
 
-    // Work buffers, allocated once.
-    let mut r = vec![0.0; n];
-    let mut w = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut vj = vec![0.0; n];
-    let mut h = vec![0.0; m + 1];
-    let mut u = vec![0.0; m + 1];
-    let mut neg = vec![0.0; m + 1];
-    let mut hess = vec![0.0; (m + 1) * m]; // column-major, ld = m+1
-    let mut cs = vec![0.0; m];
-    let mut sn = vec![0.0; m];
-    let mut g = vec![0.0; m + 1];
-    let ld = m + 1;
+    let mut x = x0.to_vec();
+    let mut ws = Workspace::new(n, m);
+    let mut prev_explicit_rrn: Option<f64> = None;
+    let mut last_implicit_rrn: Option<f64> = None;
 
     loop {
         // Step 1 / step 18: explicit residual r = b - A x.
-        a.spmv(&x, &mut w);
-        stats.spmv_count += 1;
-        sub(b, &w, &mut r);
-        let beta = norm2(&r);
+        let beta = ws.explicit_residual(a, b, &x, &mut stats);
         let rrn = beta / bnorm;
         stats.final_rrn = rrn;
         if opts.record_history {
@@ -205,140 +490,56 @@ pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>
             stats.converged = true;
             break;
         }
+        // A non-finite explicit residual cannot improve — every further
+        // comparison would be false and the solver would spin.
+        if !rrn.is_finite() {
+            break;
+        }
         if stats.iterations >= opts.max_iters {
             break;
         }
 
-        // v1 = r / beta, stored compressed (step 1).
-        scale(1.0 / beta, &mut r);
-        basis.write(0, &r);
-        stats.basis_bytes_written += col_bytes;
-        if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
-            let mut cap = vec![0.0; n];
-            basis.read_column(0, &mut cap);
-            captured = Some(cap);
+        on_boundary(
+            &Boundary {
+                explicit_rrn: rrn,
+                prev_explicit_rrn,
+                last_implicit_rrn,
+            },
+            &mut basis,
+            &mut stats,
+        );
+
+        stats.format_trajectory.push(basis.format_name());
+        let out = run_cycle(
+            a,
+            precond,
+            opts,
+            &mut basis,
+            &mut ws,
+            &mut x,
+            beta,
+            bnorm,
+            &mut stats,
+            &mut history,
+            &mut captured,
+        );
+        // A cycle that could not record a single column (immediate
+        // non-finite breakdown) left x untouched; another round would
+        // replay it verbatim.
+        if out.steps == 0 {
+            break;
         }
-        g.fill(0.0);
-        g[0] = beta;
-
-        let mut j = 0;
-        // Steps 2-15: build the Krylov basis.
-        while j < m && stats.iterations < opts.max_iters {
-            // Step 3: w = A (M^-1 v_j); v_j decompressed via the accessor.
-            basis.read_column(j, &mut vj);
-            stats.basis_bytes_read += col_bytes;
-            precond.apply(&vj, &mut z);
-            a.spmv(&z, &mut w);
-            stats.spmv_count += 1;
-
-            // Step 4.
-            let omega = norm2(&w);
-
-            // Step 5: classical Gram-Schmidt against the compressed basis.
-            basis.dots(j + 1, &w, &mut h[..j + 1]);
-            for i in 0..=j {
-                neg[i] = -h[i];
-            }
-            basis.axpys(j + 1, &neg, &mut w);
-            stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
-
-            // Step 6.
-            let mut hj1 = norm2(&w);
-
-            // Steps 7-11: DGKS re-orthogonalization. The breakdown test of
-            // step 12 compares against the norm *entering the second pass*
-            // ("twice is enough"): if the second pass removes most of what
-            // remained, w is numerically in span(V) and the basis cannot
-            // grow.
-            let mut broke_down = hj1 == 0.0;
-            if !broke_down && hj1 < opts.reorth_eta * omega {
-                let before = hj1;
-                basis.dots(j + 1, &w, &mut u[..j + 1]);
-                for i in 0..=j {
-                    neg[i] = -u[i];
-                    h[i] += u[i]; // step 9
-                }
-                basis.axpys(j + 1, &neg, &mut w);
-                stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
-                hj1 = norm2(&w); // step 10
-                stats.reorthogonalizations += 1;
-                broke_down = hj1 == 0.0 || hj1 < opts.reorth_eta * before; // step 12
-            }
-
-            // Record the Hessenberg column (step 16 assembles these).
-            for i in 0..=j {
-                hess[j * ld + i] = h[i];
-            }
-            hess[j * ld + j + 1] = hj1;
-
-            // Least-squares update: apply previous rotations, then a new one.
-            for i in 0..j {
-                let (hi, hi1) = (hess[j * ld + i], hess[j * ld + i + 1]);
-                hess[j * ld + i] = cs[i] * hi + sn[i] * hi1;
-                hess[j * ld + i + 1] = -sn[i] * hi + cs[i] * hi1;
-            }
-            let (c, s) = givens(hess[j * ld + j], hess[j * ld + j + 1]);
-            cs[j] = c;
-            sn[j] = s;
-            hess[j * ld + j] = c * hess[j * ld + j] + s * hess[j * ld + j + 1];
-            hess[j * ld + j + 1] = 0.0;
-            g[j + 1] = -s * g[j];
-            g[j] *= c;
-
-            stats.iterations += 1;
-            let implicit_rrn = g[j + 1].abs() / bnorm;
-            if opts.record_history {
-                history.push(HistoryPoint {
-                    iteration: stats.iterations,
-                    rrn: implicit_rrn,
-                    explicit: false,
-                });
-            }
-
-            j += 1;
-            if broke_down {
-                stats.breakdowns += 1;
-                break;
-            }
-            if implicit_rrn <= opts.target_rrn {
-                break;
-            }
-
-            // Step 13/14: v_{j+1} = w / h_{j+1,j}, stored compressed.
-            scale(1.0 / hj1, &mut w);
-            basis.write(j, &w);
-            stats.basis_bytes_written += col_bytes;
-            if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
-                let mut cap = vec![0.0; n];
-                basis.read_column(j, &mut cap);
-                captured = Some(cap);
-            }
-        }
-
-        // Step 17: y = argmin ‖beta e1 - H y‖ by back substitution on the
-        // rotated (upper-triangular) Hessenberg, then x += M^-1 (V y).
-        debug_assert!(j >= 1);
-        let mut y = vec![0.0; j];
-        for i in (0..j).rev() {
-            let mut acc = g[i];
-            for k in i + 1..j {
-                acc -= hess[k * ld + i] * y[k];
-            }
-            let d = hess[i * ld + i];
-            // A zero pivot can only follow an exact breakdown; the
-            // minimizer then ignores that direction.
-            y[i] = if d != 0.0 { acc / d } else { 0.0 };
-        }
-        basis.combine(&y, &mut z);
-        stats.basis_bytes_read += j as u64 * col_bytes;
-        precond.apply(&z, &mut vj);
-        axpy(1.0, &vj, &mut x);
-        stats.restarts += 1;
+        prev_explicit_rrn = Some(rrn);
+        last_implicit_rrn = out.last_implicit_rrn;
     }
 
     // Captured at the end: round-trip stores only know their achieved
     // rate after columns have actually been written.
-    stats.basis_bits_per_value = basis.column_bytes() as f64 * 8.0 / n as f64;
+    stats.basis_bits_per_value = if n > 0 {
+        basis.column_bytes() as f64 * 8.0 / n as f64
+    } else {
+        0.0
+    };
     stats.wall_time = start.elapsed();
     SolveResult {
         x,
@@ -516,6 +717,119 @@ mod tests {
             (nrm - 1.0).abs() < 1e-10,
             "basis vectors are unit norm, got {nrm}"
         );
+    }
+
+    #[test]
+    fn lossy_basis_below_accuracy_floor_reports_honest_non_convergence() {
+        // Regression (false convergence): frsz2_16 keeps only ~14 bits
+        // below each block's max exponent, so on a similarity-scaled
+        // operator (the PR02R regime of §VI-A, ~24 binades of
+        // within-block spread) the solve stagnates around 1e-4 — far
+        // above this target. The implicit Givens estimate keeps
+        // shrinking regardless (it knows nothing about the compression
+        // loss), so a solver trusting it would report success. The
+        // explicit residual must win: converged stays false and
+        // final_rrn is exactly the recomputed ‖b − Ax‖/‖b‖.
+        let a = gen::wide_range_conv_diff(8, 8, 8, 24, 0x5202);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let o = GmresOptions {
+            target_rrn: 1e-12, // below what frsz2_16 can reach here
+            max_iters: 400,
+            restart: 30,
+            ..GmresOptions::default()
+        };
+        let cfg = frsz2::Frsz2Config::new(32, 16);
+        let r = gmres_with(&a, &b, &x0, &o, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        assert!(
+            !r.stats.converged,
+            "frsz2_16 cannot reach 1e-12 (floor ~1e-4); reported rrn {:.2e}",
+            r.stats.final_rrn
+        );
+        assert!(r.stats.final_rrn > o.target_rrn);
+        // Implicit estimates DID cross the target (the false-convergence
+        // bait) — the test is vacuous otherwise.
+        assert!(
+            r.history
+                .iter()
+                .any(|p| !p.explicit && p.rrn <= o.target_rrn),
+            "implicit estimate never crossed the target; stagnation bait missing"
+        );
+        // Honesty: final_rrn is bit-for-bit the explicit residual of the
+        // returned x (same deterministic kernels, same operator).
+        let mut ax = vec![0.0; a.rows()];
+        a.spmv(&r.x, &mut ax);
+        let mut res = vec![0.0; a.rows()];
+        spla::dense::sub(&b, &ax, &mut res);
+        let explicit = spla::dense::norm2(&res) / spla::dense::norm2(&b);
+        assert_eq!(
+            explicit.to_bits(),
+            r.stats.final_rrn.to_bits(),
+            "final_rrn {:.17e} is not the explicit residual {:.17e}",
+            r.stats.final_rrn,
+            explicit
+        );
+        // And the recorded history ends on that explicit point.
+        let last = r.history.last().unwrap();
+        assert!(last.explicit);
+        assert_eq!(last.rrn.to_bits(), r.stats.final_rrn.to_bits());
+    }
+
+    #[test]
+    fn non_finite_hessenberg_terminates_as_breakdown_not_spin() {
+        // Regression (NaN spin): with O(1e308) matrix entries the
+        // Gram-Schmidt products and ‖w‖² overflow, the Givens rotation
+        // becomes inf/inf = NaN, and every later stopping comparison is
+        // false — the solver used to spin silently to max_iters. It must
+        // instead detect the non-finite Hessenberg entry, count a
+        // breakdown, and terminate the cycle (and solve) cleanly.
+        let n = 8;
+        let mut coo = spla::Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1e308);
+            coo.push(i, (i + 1) % n, 1e308);
+        }
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let o = GmresOptions {
+            target_rrn: 1e-12,
+            max_iters: 500,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &vec![0.0; n], &o, &Identity);
+        assert!(!r.stats.converged);
+        assert!(r.stats.breakdowns >= 1, "overflow must count as breakdown");
+        assert!(
+            r.stats.iterations < 5,
+            "solver spun for {} iterations instead of terminating",
+            r.stats.iterations
+        );
+        assert!(
+            r.stats.final_rrn.is_finite(),
+            "reported residual must stay finite"
+        );
+        // The poisoned cycle recorded no columns, so x is untouched.
+        assert!(r.x.iter().all(|&v| v == 0.0));
+        assert!(r.history.iter().all(|p| p.rrn.is_finite()));
+    }
+
+    #[test]
+    fn fixed_format_trajectory_has_one_entry_per_cycle() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.1, 0.0], 0.05);
+        let (_, b) = manufactured_rhs(&a);
+        let o = GmresOptions {
+            restart: 10,
+            target_rrn: 1e-8,
+            max_iters: 3000,
+            ..GmresOptions::default()
+        };
+        let r = gmres::<Frsz2Store, _, _>(&a, &b, &vec![0.0; 512], &o, &Identity);
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.format_trajectory.len(), r.stats.restarts);
+        assert!(r.stats.format_trajectory.iter().all(|f| f == "frsz2_32"));
+        assert_eq!(r.stats.escalations, 0);
     }
 
     #[test]

@@ -12,16 +12,25 @@
 //! | `frsz2::Frsz2Store`           | `frsz2_l`          |
 //! | `lossy::RoundTripStore`       | Table II codecs    |
 //!
-//! (the `bench` crate wires the Table II codecs in via `RoundTripStore`)
-//!
-//! The `bench` crate resolves the paper's format names at runtime so the
-//! experiment binaries can sweep formats from the command line.
+//! Runtime format selection lives in [`basis_format`]: every backend
+//! above (including the Table II codecs via `lossy::RoundTripStore`)
+//! sits behind one object-safe factory, resolvable by paper name and
+//! orderable by storage-accuracy floor. [`adaptive::adaptive_gmres`]
+//! builds on it: start the solve in the cheapest format and escalate
+//! along `frsz2_16 → frsz2_21 → frsz2_32 → float64` whenever the
+//! explicit restart residual shows stagnation or an implicit/explicit
+//! gap — one solver, every storage backend, no false convergence.
 
+pub mod adaptive;
 pub mod basis;
+pub mod basis_format;
 pub mod diagnostics;
 pub mod gmres;
 pub mod precond;
 
+pub use adaptive::{adaptive_gmres, AdaptiveOptions};
 pub use basis::Basis;
+pub use basis_format::{auto_basis, BasisFormat, ESCALATION_LADDER};
+pub use diagnostics::{history_summary, HistorySummary};
 pub use gmres::{gmres, gmres_with, GmresOptions, HistoryPoint, SolveResult, SolveStats};
 pub use precond::{BlockJacobi, Identity, Jacobi, PrecondError, Preconditioner};

@@ -168,12 +168,90 @@ pub trait ColumnStorage: Send + Sync {
     fn column_bytes(&self) -> usize;
 
     /// Average storage rate in bits per value (Eq. 3 for FRSZ2).
+    ///
+    /// A zero-row store has no values, so the rate is defined as 0.0
+    /// rather than the `0/0 = NaN` the naive quotient would produce.
     fn bits_per_value(&self) -> f64 {
-        self.column_bytes() as f64 * 8.0 / self.rows() as f64
+        if self.rows() == 0 {
+            0.0
+        } else {
+            self.column_bytes() as f64 * 8.0 / self.rows() as f64
+        }
     }
 
     /// Display name matching the paper's labels.
     fn format_name(&self) -> String;
+}
+
+/// Boxed storage is itself storage: every method delegates to the
+/// contained object. This is what makes runtime format selection
+/// possible — a `krylov::basis_format` factory hands the solver a
+/// `Box<dyn ColumnStorage>` and the generic solve path runs unchanged
+/// (the same pattern as `spla::FormatChoice::build` returning
+/// `Box<dyn SparseMatrix>`). The only non-object-safe method is
+/// [`ColumnStorage::with_shape`], which cannot pick a format out of
+/// thin air and therefore panics; boxed stores are always built by a
+/// factory.
+impl ColumnStorage for Box<dyn ColumnStorage> {
+    fn with_shape(_rows: usize, _cols: usize) -> Self {
+        panic!("Box<dyn ColumnStorage> has no default format: build one via a basis-format factory")
+    }
+
+    #[inline]
+    fn rows(&self) -> usize {
+        (**self).rows()
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        (**self).cols()
+    }
+
+    fn write_column(&mut self, j: usize, data: &[f64]) {
+        (**self).write_column(j, data);
+    }
+
+    #[inline]
+    fn read_chunk(&self, j: usize, row_start: usize, out: &mut [f64]) {
+        (**self).read_chunk(j, row_start, out);
+    }
+
+    #[inline]
+    fn read_column(&self, j: usize, out: &mut [f64]) {
+        (**self).read_column(j, out);
+    }
+
+    #[inline]
+    fn load(&self, i: usize, j: usize) -> f64 {
+        (**self).load(i, j)
+    }
+
+    #[inline]
+    fn chunk_align(&self) -> usize {
+        (**self).chunk_align()
+    }
+
+    #[inline]
+    fn dot_chunk(&self, j: usize, row_start: usize, w: &[f64]) -> f64 {
+        (**self).dot_chunk(j, row_start, w)
+    }
+
+    #[inline]
+    fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
+        (**self).axpy_chunk(j, row_start, alpha, w)
+    }
+
+    fn column_bytes(&self) -> usize {
+        (**self).column_bytes()
+    }
+
+    fn bits_per_value(&self) -> f64 {
+        (**self).bits_per_value()
+    }
+
+    fn format_name(&self) -> String {
+        (**self).format_name()
+    }
 }
 
 /// [`ColumnStorage`] backed by a flat `Vec<T>` of independently-cast values.
@@ -326,5 +404,48 @@ mod tests {
     fn wrong_column_length_panics() {
         let mut st = DenseStore::<f64>::with_shape(4, 1);
         st.write_column(0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn boxed_storage_delegates_every_method() {
+        let mut st: Box<dyn ColumnStorage> = Box::new(DenseStore::<f32>::with_shape(40, 2));
+        let v = ramp(40);
+        st.write_column(1, &v);
+        assert_eq!(st.rows(), 40);
+        assert_eq!(st.cols(), 2);
+        assert_eq!(st.chunk_align(), 1);
+        assert_eq!(st.column_bytes(), 40 * 4);
+        assert!((st.bits_per_value() - 32.0).abs() < 1e-12);
+        assert_eq!(st.format_name(), "float32");
+        let mut out = vec![0.0; 40];
+        st.read_column(1, &mut out);
+        for (i, &x) in v.iter().enumerate() {
+            let expect = x as f32 as f64;
+            assert_eq!(out[i], expect);
+            assert_eq!(st.load(i, 1), expect);
+        }
+        // Fused kernels go through the inner store's implementation.
+        let w = vec![1.0; 40];
+        let dot = st.dot_chunk(1, 0, &w);
+        let serial: f64 = out.iter().sum();
+        assert_eq!(dot.to_bits(), serial.to_bits());
+        let mut acc = vec![0.0; 40];
+        st.axpy_chunk(1, 0, 2.0, &mut acc);
+        for (a, o) in acc.iter().zip(&out) {
+            assert_eq!(*a, 2.0 * o);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "basis-format factory")]
+    fn boxed_with_shape_is_rejected() {
+        let _ = <Box<dyn ColumnStorage>>::with_shape(4, 4);
+    }
+
+    #[test]
+    fn zero_row_store_reports_zero_bits_per_value() {
+        let st = DenseStore::<f64>::with_shape(0, 3);
+        assert_eq!(st.bits_per_value(), 0.0);
+        assert!(!st.bits_per_value().is_nan());
     }
 }

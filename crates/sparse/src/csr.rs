@@ -93,9 +93,9 @@ impl Csr {
     /// `y := A x` (parallel over row chunks, deterministic).
     ///
     /// Each row is accumulated serially by exactly one worker through
-    /// the shared [`crate::matrix::par_over_rows`] driver, so the
-    /// result is bit-identical to [`Csr::spmv_serial`] at any thread
-    /// count.
+    /// the shared `crate::matrix::par_over_rows` driver (private), so
+    /// the result is bit-identical to [`Csr::spmv_serial`] at any
+    /// thread count.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");

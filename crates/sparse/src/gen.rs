@@ -218,6 +218,25 @@ pub fn phi_uncorrelated(n: usize, range: u32, seed: u64) -> Vec<i32> {
     (0..n).map(|_| -(rng.gen_range(0..=range) as i32)).collect()
 }
 
+/// The canonical PR02R-regime stagnation operator: the
+/// [`conv_diff_3d`] stencil (velocity `[0.3, 0.2, 0.1]`, reaction 0.2)
+/// similarity-scaled by [`phi_uncorrelated`] over `range` binades.
+///
+/// Krylov vectors of this operator spread neighbouring entries across
+/// ~`range` binades, so block-exponent storage (FRSZ2) with fewer than
+/// `range + 2` mantissa bits flushes most of each block and the solve
+/// stagnates at the storage floor instead of restart-refining past it
+/// (§VI-A / Fig. 9b). One definition, shared by the solver tests, the
+/// bench harness's stagnation pair, and the `adaptive_basis` example,
+/// so the "fixed `frsz2_16` must stagnate here" calibration lives in
+/// exactly one place.
+pub fn wide_range_conv_diff(nx: usize, ny: usize, nz: usize, range: u32, seed: u64) -> Csr {
+    let mut a = conv_diff_3d(nx, ny, nz, [0.3, 0.2, 0.1], 0.2);
+    let phi = phi_uncorrelated(a.rows(), range, seed);
+    apply_similarity_scaling(&mut a, &phi);
+    a
+}
+
 /// Exponent field depending only on the slowest (z) grid index: memory-
 /// consecutive entries (x runs fastest) share their magnitude — the
 /// HV15R regime where "the ordering of non-zero values may lead
@@ -279,6 +298,24 @@ pub fn phi_smooth_field(nx: usize, ny: usize, nz: usize, range: u32, seed: u64) 
 mod tests {
     use super::*;
     use crate::dense;
+
+    #[test]
+    fn wide_range_conv_diff_is_deterministic_and_spans_the_binades() {
+        let a1 = wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+        let a2 = wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+        assert_eq!(a1.values(), a2.values(), "same seed, same operator");
+        let (lo, hi) = a1
+            .values()
+            .iter()
+            .filter(|v| **v != 0.0)
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+                (lo.min(v.abs()), hi.max(v.abs()))
+            });
+        assert!(
+            hi / lo >= f64::powi(2.0, 24),
+            "similarity scaling must actually spread the magnitudes ({lo:e}..{hi:e})"
+        );
+    }
 
     #[test]
     fn conv_diff_shapes_and_symmetry() {

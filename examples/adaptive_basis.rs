@@ -1,0 +1,64 @@
+//! Adaptive-precision basis escalation on a PR02R-like problem.
+//!
+//! FRSZ2 stores one exponent per 32-value block, so a Krylov vector
+//! whose neighbouring entries span many binades flushes its small
+//! entries to zero (§VI-A, Fig. 9b): with `l = 16` the basis only
+//! keeps ~14 bits below the block max, and on a similarity-scaled
+//! operator the solve stagnates far above the target. The adaptive
+//! driver watches the *explicit* restart residual, escalates
+//! `frsz2_16 → frsz2_21 → frsz2_32 → float64` on stagnation evidence,
+//! and converges — while spending its early cycles in the cheap
+//! formats.
+//!
+//! Run with `cargo run --release --example adaptive_basis`.
+
+use frsz2_repro::krylov::{adaptive_gmres, basis_format, AdaptiveOptions, GmresOptions, Identity};
+use frsz2_repro::spla::dense::manufactured_rhs;
+use frsz2_repro::spla::gen;
+
+fn main() {
+    // 8^3 convection-diffusion operator, similarity-scaled across ~24
+    // binades: the PR02R regime where within-block exponent spread
+    // defeats narrow FRSZ2 (see `gen::wide_range_conv_diff`).
+    let a = gen::wide_range_conv_diff(8, 8, 8, 24, 0x5202);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+
+    let opts = GmresOptions {
+        restart: 30,
+        max_iters: 1200,
+        target_rrn: 1e-10,
+        ..GmresOptions::default()
+    };
+
+    println!("fixed-format solves (target 1e-10):");
+    for name in ["frsz2_16", "frsz2_21", "frsz2_32", "float64"] {
+        let fmt = basis_format::by_name(name).unwrap();
+        let r = basis_format::gmres_dyn(&a, &b, &x0, &opts, &Identity, fmt.as_ref());
+        println!(
+            "  {name:>9}: converged={} iters={:4} final_rrn={:.2e} ({:.1} bits/value)",
+            r.stats.converged,
+            r.stats.iterations,
+            r.stats.final_rrn,
+            fmt.bits_per_value(a.rows())
+        );
+    }
+
+    let aopts = AdaptiveOptions {
+        gmres: opts,
+        ..AdaptiveOptions::default()
+    };
+    let r = adaptive_gmres(&a, &b, &x0, &aopts, &Identity);
+    println!(
+        "\nadaptive: converged={} iters={} final_rrn={:.2e} escalations={}",
+        r.stats.converged, r.stats.iterations, r.stats.final_rrn, r.stats.escalations
+    );
+    println!("  per-cycle formats: {:?}", r.stats.format_trajectory);
+    let explicit: Vec<String> = r
+        .history
+        .iter()
+        .filter(|p| p.explicit)
+        .map(|p| format!("{:.1e}@{}", p.rrn, p.iteration))
+        .collect();
+    println!("  explicit residuals: {}", explicit.join(" "));
+}

@@ -4,7 +4,10 @@
 
 use frsz2_repro::frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
 use frsz2_repro::gpusim;
-use frsz2_repro::krylov::{gmres, gmres_with, GmresOptions, Identity, Jacobi};
+use frsz2_repro::krylov::{
+    adaptive_gmres, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, Jacobi,
+    ESCALATION_LADDER,
+};
 use frsz2_repro::lossy::{registry, Compressor, RoundTripStore};
 use frsz2_repro::numfmt::{ColumnStorage, DenseStore, BF16, F16};
 use frsz2_repro::spla::dense::{manufactured_rhs, norm2};
@@ -363,6 +366,97 @@ fn cb_gmres_l21_history_is_format_independent_end_to_end() {
         }
         for (u, v) in r.x.iter().zip(&base.x) {
             assert_eq!(u.to_bits(), v.to_bits(), "{label} solution");
+        }
+    }
+}
+
+#[test]
+fn adaptive_basis_rescues_the_stagnating_frsz2_16_solve() {
+    // Acceptance scenario end to end, on the PR02R regime (§VI-A):
+    // similarity scaling by an uncorrelated power-of-two field spreads
+    // neighbouring Krylov entries across ~24 binades, so frsz2_16's 14
+    // kept bits flush most of each block and the fixed-format solve
+    // stagnates far above target. The adaptive driver must (a) converge,
+    // (b) escalate at most one ladder rung per restart boundary,
+    // (c) report the per-cycle format trajectory, and (d) be bit-identical
+    // at 1, 2 and 8 threads — escalation schedule included.
+    let a = gen::wide_range_conv_diff(10, 10, 10, 24, 0x5202);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = GmresOptions {
+        restart: 40,
+        max_iters: 1500,
+        target_rrn: 1e-10,
+        ..GmresOptions::default()
+    };
+
+    // (counterpoint) fixed frsz2_16 stagnates to the iteration cap.
+    let cfg = Frsz2Config::new(32, 16);
+    let fixed = gmres_with(&a, &b, &x0, &opts, &Identity, |rows, cols| {
+        Frsz2Store::with_config(cfg, rows, cols)
+    });
+    assert!(
+        !fixed.stats.converged,
+        "fixed frsz2_16 unexpectedly reached 1e-10 (rrn {:.2e})",
+        fixed.stats.final_rrn
+    );
+    assert!(fixed.stats.final_rrn > 1e-8, "not a real stagnation");
+
+    let aopts = AdaptiveOptions {
+        gmres: opts,
+        ..AdaptiveOptions::default()
+    };
+    let solve = || adaptive_gmres(&a, &b, &x0, &aopts, &Identity);
+    let r = solve();
+    assert!(
+        r.stats.converged,
+        "adaptive stalled at {:.2e} (trajectory {:?})",
+        r.stats.final_rrn, r.stats.format_trajectory
+    );
+    assert!(r.stats.final_rrn <= 1e-10);
+    assert!(
+        r.stats.iterations < fixed.stats.iterations,
+        "adaptive must beat the stagnating fixed solve"
+    );
+    assert!(r.stats.escalations >= 1);
+
+    // (b) + (c): trajectory covers every cycle and climbs one rung at
+    // a time, starting from the ladder base.
+    assert_eq!(r.stats.format_trajectory.len(), r.stats.restarts);
+    assert_eq!(r.stats.format_trajectory[0], ESCALATION_LADDER[0]);
+    let rungs: Vec<usize> = r
+        .stats
+        .format_trajectory
+        .iter()
+        .map(|f| ESCALATION_LADDER.iter().position(|l| l == f).unwrap())
+        .collect();
+    for pair in rungs.windows(2) {
+        assert!(
+            pair[1] == pair[0] || pair[1] == pair[0] + 1,
+            "more than one escalation at a restart boundary: {:?}",
+            r.stats.format_trajectory
+        );
+    }
+
+    // (d) thread-count bit-identity, fingerprint discipline included.
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let rt = pool.install(solve);
+        assert_eq!(rt.stats.format_trajectory, r.stats.format_trajectory);
+        assert_eq!(rt.stats.iterations, r.stats.iterations);
+        assert_eq!(rt.history.len(), r.history.len());
+        for (p, q) in rt.history.iter().zip(&r.history) {
+            assert_eq!(
+                p.rrn.to_bits(),
+                q.rrn.to_bits(),
+                "adaptive history diverged at {threads} threads"
+            );
+        }
+        for (u, v) in rt.x.iter().zip(&r.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
         }
     }
 }
