@@ -13,18 +13,21 @@
 //!
 //! Every case records a **fingerprint** (FNV-1a over the bit patterns
 //! of its numeric output); the harness exits non-zero if any case's
-//! fingerprint differs between thread counts, *or* between sparse
-//! matrix formats running the same computation (`spmv_csr` vs
-//! `spmv_ell` vs `spmv_sell`; `cb_gmres_frsz2_21` vs
-//! `cb_gmres_frsz2_21_auto`). Both contracts are enforced wherever the
-//! benches run — including CI's `bench-smoke` job, which also
-//! validates the JSON schema with `--validate`. See `bench::json` for
-//! the schema.
+//! fingerprint differs between thread counts, between sparse matrix
+//! formats running the same computation (`spmv_csr` vs `spmv_ell` vs
+//! `spmv_sell`; `cb_gmres_frsz2_21` vs `cb_gmres_frsz2_21_auto`), *or*
+//! between a fused orthogonalization kernel and its
+//! decompress-then-BLAS reference (`basis_dots` vs `basis_dots_ref`,
+//! `basis_gemv` vs `basis_gemv_ref` — schema v3). All three contracts
+//! are enforced wherever the benches run — including CI's
+//! `bench-smoke` job, which also validates the JSON schema with
+//! `--validate`. See `bench::json` for the schema.
 
 use bench::json::{self, Json};
 use bench::report;
 use frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
 use krylov::{adaptive_gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, SolveResult};
+use numfmt::ColumnStorage;
 use spla::{auto_format, gen, Ell, SellCSigma, SparseMatrix};
 use std::time::Instant;
 
@@ -346,14 +349,18 @@ fn bench_spmv(args: &Args) -> (Json, Vec<CaseResult>) {
     )
 }
 
-/// FRSZ2 compress + decompress round-trip at the paper's headline bit
-/// lengths (unaligned `l = 21` and word-aligned `l = 32`).
+/// FRSZ2 compress + decompress round-trip at all three paper bit
+/// lengths (`l ∈ {16, 21, 32}`, schema v3), plus the fused
+/// multi-column orthogonalization kernel microbenches
+/// (`basis_dots`/`basis_gemv`) against their decompress-then-BLAS
+/// references. Each fused/ref pair must produce bit-identical output
+/// at every thread count — enforced by [`enforce_cross_format`].
 fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
     let n: usize = if args.quick { 1 << 16 } else { 1 << 20 };
     let data: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin() * 0.9).collect();
     let mut out = vec![0.0; n];
     let mut cases = Vec::new();
-    for &bits in &[21u32, 32] {
+    for &bits in &[16u32, 21, 32] {
         let cfg = Frsz2Config::new(32, bits);
         for &threads in &args.threads {
             let samples = time_under_pool(threads, args.runs, || {
@@ -376,6 +383,13 @@ fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
                         "gbps_uncompressed".into(),
                         (2 * n * 8) as f64 / (min_ms * 1e-3) / 1e9,
                     ),
+                    // Compressed bytes moved per round trip (one pack
+                    // write + one decode read) — the traffic CB-GMRES
+                    // actually pays for basis storage (schema v3).
+                    (
+                        "gbps_compressed".into(),
+                        (2 * cfg.storage_bytes(n)) as f64 / (min_ms * 1e-3) / 1e9,
+                    ),
                     ("bits_per_value".into(), cfg.bits_per_value(n)),
                 ],
                 fingerprint: fingerprint_f64s(&out),
@@ -383,14 +397,175 @@ fn bench_codec(args: &Args) -> (Json, Vec<CaseResult>) {
             });
         }
     }
+
+    // Kernel microbenches (schema v3): the fused multi-column basis
+    // sweeps on a frsz2_21 basis vs their per-column
+    // decompress-then-naive-BLAS references. The reference mirrors the
+    // basis' chunk reduction exactly, so fingerprints must match
+    // bit-for-bit — fusion changes speed, never results.
+    let bn: usize = if args.quick { 1 << 14 } else { 1 << 17 };
+    let bk = 8usize;
+    let cfg21 = Frsz2Config::new(32, 21);
+    let mut basis = krylov::Basis::from_store(Frsz2Store::with_config(cfg21, bn, bk));
+    for j in 0..bk {
+        let v: Vec<f64> = (0..bn)
+            .map(|i| ((i + 31 * j) as f64 * 0.11).sin())
+            .collect();
+        basis.write(j, &v);
+    }
+    let w: Vec<f64> = (0..bn).map(|i| (i as f64 * 0.07).sin()).collect();
+    let alphas: Vec<f64> = (0..bk).map(|j| 1e-3 * (j as f64 + 1.0)).collect();
+    let chunk = basis.chunk_rows();
+    let n_chunks = bn.div_ceil(chunk);
+    let col_bytes = basis.column_bytes();
+    // Compressed bytes streamed per sweep: all k columns once.
+    let sweep_bytes = (bk * col_bytes) as f64;
+
+    let mut h = vec![0.0; bk];
+    let mut scratch = Vec::new();
+    let mut wv = w.clone();
+    let mut tile = vec![0.0; chunk];
+    let mut partials = vec![0.0; n_chunks * bk];
+    for &threads in &args.threads {
+        // basis_dots: fused h = Vᵀw.
+        let samples = time_under_pool(threads, args.runs, || {
+            basis.dots_with(bk, &w, &mut h, &mut scratch);
+        });
+        push_kernel_case(
+            &mut cases,
+            "basis_dots",
+            threads,
+            args,
+            &samples,
+            sweep_bytes,
+            fingerprint_f64s(&h),
+        );
+
+        // basis_dots_ref: per-column decompress-then-dot with the same
+        // chunk-ordered partial reduction.
+        let samples = time_under_pool(threads, args.runs, || {
+            for (c, slot) in partials.chunks_mut(bk).enumerate() {
+                let start = c * chunk;
+                let len = chunk.min(bn - start);
+                for (j, out_j) in slot.iter_mut().enumerate() {
+                    basis.store().read_chunk(j, start, &mut tile[..len]);
+                    let mut acc = 0.0;
+                    for (a, b) in tile[..len].iter().zip(&w[start..start + len]) {
+                        acc += a * b;
+                    }
+                    *out_j = acc;
+                }
+            }
+            for (j, out_j) in h.iter_mut().enumerate() {
+                *out_j = (0..n_chunks).map(|c| partials[c * bk + j]).sum();
+            }
+        });
+        push_kernel_case(
+            &mut cases,
+            "basis_dots_ref",
+            threads,
+            args,
+            &samples,
+            sweep_bytes,
+            fingerprint_f64s(&h),
+        );
+
+        // basis_gemv: fused w ← w + Σ αⱼ V[:,j]. Timed on a scratch
+        // vector; the fingerprint comes from one fresh application so
+        // it is independent of the run count.
+        let samples = time_under_pool(threads, args.runs, || {
+            basis.axpys(bk, &alphas, &mut wv);
+        });
+        wv.copy_from_slice(&w);
+        basis.axpys(bk, &alphas, &mut wv);
+        let fused_fp = fingerprint_f64s(&wv);
+        push_kernel_case(
+            &mut cases,
+            "basis_gemv",
+            threads,
+            args,
+            &samples,
+            sweep_bytes,
+            fused_fp,
+        );
+
+        // basis_gemv_ref: sequential per-column decompress-then-axpy
+        // (chunk outer, column inner — the op order the fused kernel
+        // must reproduce).
+        let mut gemv_ref = |wv: &mut [f64]| {
+            let mut start = 0;
+            while start < bn {
+                let len = chunk.min(bn - start);
+                for (j, &a) in alphas.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    basis.store().read_chunk(j, start, &mut tile[..len]);
+                    for (b, t) in wv[start..start + len].iter_mut().zip(&tile[..len]) {
+                        *b += a * t;
+                    }
+                }
+                start += len;
+            }
+        };
+        let samples = time_under_pool(threads, args.runs, || gemv_ref(&mut wv));
+        wv.copy_from_slice(&w);
+        gemv_ref(&mut wv);
+        let ref_fp = fingerprint_f64s(&wv);
+        push_kernel_case(
+            &mut cases,
+            "basis_gemv_ref",
+            threads,
+            args,
+            &samples,
+            sweep_bytes,
+            ref_fp,
+        );
+    }
+    // Fused and reference kernels must agree bit-for-bit.
+    enforce_cross_format("codec", &["basis_dots", "basis_dots_ref"], &cases);
+    enforce_cross_format("codec", &["basis_gemv", "basis_gemv_ref"], &cases);
+
     let config = vec![
         ("values", Json::Num(n as f64)),
         ("block_size", Json::Num(32.0)),
+        ("basis_rows", Json::Num(bn as f64)),
+        ("basis_cols", Json::Num(bk as f64)),
+        ("basis_format", Json::Str("frsz2_21".into())),
     ];
     (
         emit_doc("codec", args.quick, config, &cases, "codec_roundtrip_l21"),
         cases,
     )
+}
+
+/// Append one kernel-microbench case row (codec suite, schema v3):
+/// `gbps_compressed` is the compressed basis bytes swept per call over
+/// the min time — the bandwidth the paper's Figure 4 roofline is about.
+fn push_kernel_case(
+    cases: &mut Vec<CaseResult>,
+    name: &str,
+    threads: usize,
+    args: &Args,
+    samples: &[f64],
+    sweep_bytes: f64,
+    fingerprint: String,
+) {
+    let (min_ms, median_ms, mean_ms) = min_median_mean(samples);
+    cases.push(CaseResult {
+        name: name.into(),
+        threads,
+        runs: args.runs,
+        min_ms,
+        median_ms,
+        mean_ms,
+        metrics: vec![(
+            "gbps_compressed".into(),
+            sweep_bytes / (min_ms * 1e-3) / 1e9,
+        )],
+        fingerprint,
+        format_trajectory: None,
+    });
 }
 
 /// CB-GMRES solves with the paper's `l = 21` compressed basis on the

@@ -8,11 +8,11 @@
 //! the same key sequence, making the files diffable across PRs — they
 //! are the perf trajectory CI artifacts are judged against.
 //!
-//! # `BENCH_*.json` schema (version 2)
+//! # `BENCH_*.json` schema (version 3)
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "bench": "spmv",                  // suite name
 //!   "quick": false,                   // quick (CI smoke) sizes?
 //!   "threads_available": 8,           // host parallelism at run time
@@ -49,6 +49,28 @@
 //! schedule divergence across thread counts fails the run just like a
 //! residual divergence.
 //!
+//! ## Schema v3 (per-`l` codec cases and kernel microbenches)
+//!
+//! Version 3 changes no keys — it extends the codec-suite case
+//! inventory alongside the word-granular fused kernels:
+//!
+//! * `codec_roundtrip_l16` joins the existing `l21`/`l32` cases, so
+//!   all three paper bit lengths are in the trajectory, and every
+//!   codec case gains a `gbps_compressed` metric — *compressed* bytes
+//!   moved per round trip (`2 × storage_bytes`, one pack write + one
+//!   decode read) over the min time — next to the existing
+//!   `gbps_uncompressed`. The compressed rate is the honest number
+//!   for the paper's claim that orthogonalization becomes
+//!   bandwidth-bound on the compressed bytes.
+//! * `basis_dots` / `basis_gemv` time the fused multi-column
+//!   orthogonalization kernels (`Basis::dots_with` / `Basis::axpys`)
+//!   over a `frsz2_21` basis; `basis_dots_ref` / `basis_gemv_ref` run
+//!   the same computation as decompress-then-naive-BLAS per column.
+//!   Each fused/ref pair MUST fingerprint-equal at every thread count
+//!   (fusion changes speed, never bits) — the harness exits non-zero
+//!   on any fused-vs-reference divergence, same machinery as the
+//!   sparse cross-format groups.
+//!
 //! ## Case inventory
 //!
 //! * `spmv` — one case per sparse format on the *same* matrix and
@@ -58,6 +80,9 @@
 //!   non-zero on any cross-format divergence. `config.auto_format`
 //!   records which format `spla::select::auto_format` picked, and each
 //!   case's `metrics.storage_bytes` exposes the padding trade-off.
+//! * `codec` — `codec_roundtrip_l16`/`l21`/`l32` round trips plus the
+//!   `basis_dots`/`basis_gemv` kernel microbenches and their `_ref`
+//!   counterparts (see v3 notes above).
 //! * `solve` — `cb_gmres_frsz2_21` (CSR operator) and
 //!   `cb_gmres_frsz2_21_auto` (auto-selected format). Both fingerprint
 //!   the full residual history and MUST agree: solver convergence is
@@ -374,7 +399,7 @@ impl Parser<'_> {
 }
 
 /// Current `BENCH_*.json` schema version.
-pub const BENCH_SCHEMA_VERSION: f64 = 2.0;
+pub const BENCH_SCHEMA_VERSION: f64 = 3.0;
 
 fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
     v.get(key)
@@ -383,7 +408,7 @@ fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a finite number"))
 }
 
-/// Validate a parsed document against the version-1 bench schema
+/// Validate a parsed document against the version-3 bench schema
 /// documented at module level. Returns the number of cases.
 pub fn validate_bench(doc: &Json) -> Result<usize, String> {
     if !matches!(doc, Json::Obj(_)) {
@@ -479,7 +504,7 @@ mod tests {
 
     fn sample_doc() -> Json {
         Json::obj(vec![
-            ("schema_version", Json::Num(2.0)),
+            ("schema_version", Json::Num(3.0)),
             ("bench", Json::Str("spmv".into())),
             ("quick", Json::Bool(true)),
             ("threads_available", Json::Num(4.0)),
@@ -571,7 +596,7 @@ mod tests {
         let wrong_version = parse(
             &sample_doc()
                 .to_string()
-                .replace("\"schema_version\": 2", "\"schema_version\": 1"),
+                .replace("\"schema_version\": 3", "\"schema_version\": 2"),
         )
         .unwrap();
         assert!(validate_bench(&wrong_version).is_err());

@@ -93,6 +93,19 @@ impl ColumnStorage for RoundTripStore {
         self.inner.axpy_chunk(j, row_start, alpha, w)
     }
 
+    /// Multi-column sweeps run on the inner dense store (columns are
+    /// plain f64 after the write-time round trip), so round-trip bases
+    /// get the fused one-pass orthogonalization kernels for free.
+    #[inline]
+    fn dots_chunk(&self, k: usize, row_start: usize, w: &[f64], out: &mut [f64]) {
+        self.inner.dots_chunk(k, row_start, w, out)
+    }
+
+    #[inline]
+    fn gemv_chunk(&self, k: usize, row_start: usize, alphas: &[f64], w: &mut [f64]) {
+        self.inner.gemv_chunk(k, row_start, alphas, w)
+    }
+
     /// Reports the *achieved* compressed size (what the paper would count
     /// as memory traffic had the codec been integrated for real).
     fn column_bytes(&self) -> usize {

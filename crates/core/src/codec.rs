@@ -1,13 +1,20 @@
 //! Optimized FRSZ2 block codec.
 //!
 //! Same format as [`crate::reference`] (property-tested equal), organized
-//! for throughput: per-block two-pass compression (exponent scan, then
-//! encode) and dedicated storage paths for word-aligned bit lengths —
-//! optimization (3) of §IV-C ("separate compression and decompression
-//! routines for `l = 2^x` and `l != 2^x`"). Index arithmetic in the hot
-//! loops uses 32-bit integers where possible (optimization (4)).
+//! for throughput: per-block two-pass compression (exponent scan over the
+//! raw `u64` bit patterns, then encode) and dedicated storage paths for
+//! word-aligned bit lengths — optimization (3) of §IV-C ("separate
+//! compression and decompression routines for `l = 2^x` and `l != 2^x`").
+//! Index arithmetic in the hot loops uses 32-bit integers where possible
+//! (optimization (4)). Unaligned lengths no longer pay a per-element
+//! word-boundary branch: both directions stream through the rolling
+//! `u64`-window kernels of the crate-private `kernels` module
+//! (decompression gathers each code from a two-word window, compression
+//! spills whole words from a staging register), monomorphized for the
+//! paper's `l ∈ {16, 21, 32}`.
 
 use crate::bitpack;
+use crate::kernels;
 use crate::{mask64, shift_signed};
 
 const MASK52: u64 = (1u64 << 52) - 1;
@@ -171,7 +178,7 @@ fn exp2i(e: i32) -> f64 {
 /// Encode the raw bits of one finite `f64` against `emax` (shared by all
 /// storage paths; same math as `reference::compress_value`).
 #[inline(always)]
-fn encode_bits(bits: u64, emax: u32, l: u32, nearest: bool) -> u64 {
+pub(crate) fn encode_bits(bits: u64, emax: u32, l: u32, nearest: bool) -> u64 {
     let e = ((bits >> 52) & 0x7FF) as u32;
     let sign = bits >> 63;
     let m = bits & MASK52;
@@ -215,13 +222,6 @@ pub(crate) fn decode_code(c: u64, emax: u32, l: u32) -> f64 {
     }
 }
 
-/// Effective biased exponent straight from raw bits (hot-loop form).
-#[inline(always)]
-fn effective_exp_bits(bits: u64) -> u32 {
-    let e = ((bits >> 52) & 0x7FF) as u32;
-    e | ((e == 0) as u32)
-}
-
 /// Compress `input` into caller-provided storage.
 ///
 /// `words.len() >= cfg.words_for_len(input.len())` and
@@ -238,11 +238,13 @@ pub fn compress_into(cfg: Frsz2Config, input: &[f64], words: &mut [u32], exps: &
     for (b, chunk) in input.chunks(bs).enumerate() {
         // Pass 1 (step 1): the block's maximum effective exponent. On the
         // GPU this is the warp-shuffle butterfly reduction; here it is a
-        // plain scan.
+        // plain scan over the raw exponent fields — the `e = 0 → 1`
+        // effective-exponent fixup folds into the `max` with the
+        // initial 1, so the loop body is two shifts and a max.
         let mut emax = 1u32;
         for &v in chunk {
             debug_assert!(v.is_finite(), "FRSZ2 input must be finite");
-            emax = emax.max(effective_exp_bits(v.to_bits()));
+            emax = emax.max(((v.to_bits() >> 52) & 0x7FF) as u32);
         }
         exps[b] = emax;
 
@@ -252,27 +254,6 @@ pub fn compress_into(cfg: Frsz2Config, input: &[f64], words: &mut [u32], exps: &
             block_words.fill(0);
         }
         match l {
-            32 => {
-                for (i, &v) in chunk.iter().enumerate() {
-                    block_words[i] = encode_bits(v.to_bits(), emax, 32, nearest) as u32;
-                }
-            }
-            16 => {
-                for (i, &v) in chunk.iter().enumerate() {
-                    let c = encode_bits(v.to_bits(), emax, 16, nearest) as u32;
-                    let w = &mut block_words[i / 2];
-                    let sh = ((i & 1) as u32) * 16;
-                    *w = (*w & !(0xFFFFu32 << sh)) | (c << sh);
-                }
-            }
-            8 => {
-                for (i, &v) in chunk.iter().enumerate() {
-                    let c = encode_bits(v.to_bits(), emax, 8, nearest) as u32;
-                    let w = &mut block_words[i / 4];
-                    let sh = ((i & 3) as u32) * 8;
-                    *w = (*w & !(0xFFu32 << sh)) | (c << sh);
-                }
-            }
             64 => {
                 for (i, &v) in chunk.iter().enumerate() {
                     let c = encode_bits(v.to_bits(), emax, 64, nearest);
@@ -280,12 +261,16 @@ pub fn compress_into(cfg: Frsz2Config, input: &[f64], words: &mut [u32], exps: &
                     block_words[2 * i + 1] = (c >> 32) as u32;
                 }
             }
+            l if l <= 32 => {
+                // Aligned or not, codes stream through the rolling-u64
+                // staging register of `kernels`: a batch-encoded code
+                // buffer feeds a spill loop that writes each packed
+                // word exactly once (no read-modify-write, no
+                // per-element word-boundary branching).
+                kernels::pack_block(l, emax, nearest, chunk, block_words);
+            }
             l => {
-                // Unaligned path: values interleave across word boundaries.
-                for (i, &v) in chunk.iter().enumerate() {
-                    let c = encode_bits(v.to_bits(), emax, l, nearest);
-                    bitpack::write_bits(block_words, i * l as usize, l, c);
-                }
+                kernels::pack_fields_wide(l, emax, nearest, chunk, block_words);
             }
         }
     }
@@ -306,8 +291,6 @@ pub fn decompress_range(
         return;
     }
     let bs = cfg.block_size as usize;
-    let l = cfg.bits;
-    let wpb = cfg.words_per_block();
     assert!(
         row_start.is_multiple_of(bs),
         "row_start must be block-aligned"
@@ -316,44 +299,7 @@ pub fn decompress_range(
         row_start + out.len() <= len,
         "range beyond compressed length"
     );
-
-    let first_block = row_start / bs;
-    for (ob, chunk) in out.chunks_mut(bs).enumerate() {
-        let b = first_block + ob;
-        let emax = exps[b];
-        let block_words = &words[b * wpb..(b + 1) * wpb];
-        match l {
-            32 => {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    *slot = decode_code(block_words[i] as u64, emax, 32);
-                }
-            }
-            16 => {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let c = (block_words[i / 2] >> (((i & 1) as u32) * 16)) & 0xFFFF;
-                    *slot = decode_code(c as u64, emax, 16);
-                }
-            }
-            8 => {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let c = (block_words[i / 4] >> (((i & 3) as u32) * 8)) & 0xFF;
-                    *slot = decode_code(c as u64, emax, 8);
-                }
-            }
-            64 => {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let c = block_words[2 * i] as u64 | ((block_words[2 * i + 1] as u64) << 32);
-                    *slot = decode_code(c, emax, 64);
-                }
-            }
-            l => {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let c = bitpack::read_bits(block_words, i * l as usize, l);
-                    *slot = decode_code(c, emax, l);
-                }
-            }
-        }
-    }
+    kernels::decode_range(cfg, words, exps, row_start, out);
 }
 
 /// Random access to value `i` (§IV-B: only the block exponent is needed

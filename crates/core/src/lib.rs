@@ -60,6 +60,7 @@
 pub mod bitpack;
 pub mod codec;
 pub mod error;
+pub(crate) mod kernels;
 pub mod reference;
 pub mod store;
 

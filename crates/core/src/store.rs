@@ -6,6 +6,7 @@
 //! decompressed on chunked reads through the accessor interface.
 
 use crate::codec::{self, Frsz2Config};
+use crate::kernels;
 use numfmt::ColumnStorage;
 
 /// Column-major matrix of FRSZ2-compressed columns.
@@ -95,103 +96,66 @@ impl ColumnStorage for Frsz2Store {
         self.cfg.block_size()
     }
 
-    /// Fused decompress-and-dot straight off the compressed words: no
-    /// intermediate buffer for the aligned bit lengths (the in-register
-    /// decompression of §IV-B, expressed as scalar code).
+    /// Fused decompress-and-dot straight off the compressed words — the
+    /// in-register decompression of §IV-B, expressed as scalar code.
+    /// Every bit length goes through the word-granular window kernels:
+    /// no intermediate tile, no per-call allocation.
     fn dot_chunk(&self, j: usize, row_start: usize, w: &[f64]) -> f64 {
-        let bs = self.cfg.block_size();
-        let l = self.cfg.bits();
-        let wpb = self.cfg.words_per_block();
-        debug_assert_eq!(row_start % bs, 0);
-        let words = self.column_words(j);
-        let exps = self.column_exponents(j);
-        let first_block = row_start / bs;
-        let mut acc = 0.0;
-        match l {
-            32 => {
-                for (bi, wc) in w.chunks(bs).enumerate() {
-                    let b = first_block + bi;
-                    let emax = exps[b];
-                    let bw = &words[b * wpb..b * wpb + wc.len()];
-                    for (&c, &wv) in bw.iter().zip(wc) {
-                        acc += codec::decode_code(c as u64, emax, 32) * wv;
-                    }
-                }
-            }
-            16 => {
-                for (bi, wc) in w.chunks(bs).enumerate() {
-                    let b = first_block + bi;
-                    let emax = exps[b];
-                    let bw = &words[b * wpb..(b + 1) * wpb];
-                    for (i, &wv) in wc.iter().enumerate() {
-                        let c = (bw[i / 2] >> ((i & 1) * 16)) & 0xFFFF;
-                        acc += codec::decode_code(c as u64, emax, 16) * wv;
-                    }
-                }
-            }
-            _ => {
-                // Unaligned lengths go through block-granular tiles.
-                let mut tile = vec![0.0f64; if bs <= 512 { (512 / bs) * bs } else { bs }];
-                let step = tile.len();
-                let mut off = 0;
-                while off < w.len() {
-                    let len = step.min(w.len() - off);
-                    self.read_chunk(j, row_start + off, &mut tile[..len]);
-                    for (a, b) in tile[..len].iter().zip(&w[off..off + len]) {
-                        acc += a * b;
-                    }
-                    off += len;
-                }
-            }
-        }
-        acc
+        kernels::dot_chunk(
+            self.cfg,
+            self.column_words(j),
+            self.column_exponents(j),
+            row_start,
+            w,
+        )
     }
 
     /// Fused decompress-and-axpy; see [`Frsz2Store::dot_chunk`].
     fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
-        let bs = self.cfg.block_size();
-        let l = self.cfg.bits();
-        let wpb = self.cfg.words_per_block();
-        debug_assert_eq!(row_start % bs, 0);
-        let words = self.column_words(j);
-        let exps = self.column_exponents(j);
-        let first_block = row_start / bs;
-        match l {
-            32 => {
-                for (bi, wc) in w.chunks_mut(bs).enumerate() {
-                    let b = first_block + bi;
-                    let emax = exps[b];
-                    let bw = &words[b * wpb..b * wpb + wc.len()];
-                    for (wv, &c) in wc.iter_mut().zip(bw) {
-                        *wv += alpha * codec::decode_code(c as u64, emax, 32);
-                    }
-                }
-            }
-            16 => {
-                for (bi, wc) in w.chunks_mut(bs).enumerate() {
-                    let b = first_block + bi;
-                    let emax = exps[b];
-                    let bw = &words[b * wpb..(b + 1) * wpb];
-                    for (i, wv) in wc.iter_mut().enumerate() {
-                        let c = (bw[i / 2] >> ((i & 1) * 16)) & 0xFFFF;
-                        *wv += alpha * codec::decode_code(c as u64, emax, 16);
-                    }
-                }
-            }
-            _ => {
-                let mut tile = vec![0.0f64; if bs <= 512 { (512 / bs) * bs } else { bs }];
-                let step = tile.len();
-                let mut off = 0;
-                while off < w.len() {
-                    let len = step.min(w.len() - off);
-                    self.read_chunk(j, row_start + off, &mut tile[..len]);
-                    for (b, a) in w[off..off + len].iter_mut().zip(&tile[..len]) {
-                        *b += alpha * a;
-                    }
-                    off += len;
-                }
-            }
-        }
+        kernels::axpy_chunk(
+            self.cfg,
+            self.column_words(j),
+            self.column_exponents(j),
+            row_start,
+            alpha,
+            w,
+        );
+    }
+
+    /// Multi-column fused dots: all `k` columns are swept per 32-value
+    /// block, so each block of `w` is loaded once instead of `k` times.
+    /// Bit-identical to `k` independent [`Frsz2Store::dot_chunk`] calls.
+    fn dots_chunk(&self, k: usize, row_start: usize, w: &[f64], out: &mut [f64]) {
+        debug_assert!(k <= self.cols);
+        kernels::dots_chunk(
+            self.cfg,
+            &self.words,
+            &self.exps,
+            self.col_words,
+            self.col_blocks,
+            k,
+            row_start,
+            w,
+            out,
+        );
+    }
+
+    /// Multi-column fused update (`w ← w + Σ_j alphas[j] · V[:, j]`):
+    /// one load/store of each `w` block for all `k` columns.
+    /// Bit-identical to `k` sequential [`Frsz2Store::axpy_chunk`] calls.
+    fn gemv_chunk(&self, k: usize, row_start: usize, alphas: &[f64], w: &mut [f64]) {
+        debug_assert!(k <= self.cols);
+        kernels::gemv_chunk(
+            self.cfg,
+            &self.words,
+            &self.exps,
+            self.col_words,
+            self.col_blocks,
+            k,
+            row_start,
+            alphas,
+            w,
+        );
     }
 
     fn column_bytes(&self) -> usize {

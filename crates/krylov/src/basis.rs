@@ -4,18 +4,23 @@
 //! Orthogonalization is the memory-bound heart of GMRES (§II): every
 //! iteration streams all previously stored basis vectors twice (once for
 //! the dot products `h = Vᵀw`, once for the update `w ← w − Vh`). The
-//! basis therefore exposes exactly those two bulk kernels, implemented as
-//! rayon-parallel loops over block-aligned row chunks, with each worker
-//! decompressing into a thread-local scratch buffer. Reductions sum
-//! per-chunk partials in chunk order, so results are bit-deterministic
-//! for any thread count.
+//! basis therefore exposes exactly those two bulk kernels, implemented
+//! as rayon-parallel loops over block-aligned row chunks. Within a
+//! chunk the storage format's fused multi-column kernels
+//! ([`ColumnStorage::dots_chunk`] / [`ColumnStorage::gemv_chunk`]) sweep
+//! all `k` columns per pass — `w` is read (dots) or read-and-written
+//! (axpys) once instead of `k` times, and compressed formats decode
+//! straight off their packed words with no scratch tile. Reductions sum
+//! per-chunk partials in chunk order into a caller-reusable flat
+//! buffer, so results are bit-deterministic for any thread count and
+//! the hot path allocates nothing after warmup.
 
 use numfmt::ColumnStorage;
 use rayon::prelude::*;
 
 /// Target rows per parallel work item (rounded up to the storage
 /// format's block alignment).
-const TARGET_CHUNK: usize = 8192;
+pub(crate) const TARGET_CHUNK: usize = 8192;
 
 /// A Krylov basis of up to `cols` vectors of length `rows`, held in an
 /// arbitrary storage format. All arithmetic is f64; only storage is
@@ -61,18 +66,37 @@ impl<S: ColumnStorage> Basis<S> {
         self.store.read_column(j, out);
     }
 
+    /// Rows per parallel work item for this basis (the block-aligned
+    /// chunking `dots`/`axpys` reduce over). Exposed so callers can
+    /// size [`Basis::dots_with`] scratch buffers and so reference
+    /// implementations can mirror the reduction order exactly.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk
+    }
+
     /// `out[i] = V[:, i]ᵀ w` for `i in 0..k` — the orthogonalization dot
-    /// products of step 5, streaming each stored column once through the
-    /// format's fused decode-multiply kernel.
+    /// products of step 5. Convenience wrapper over
+    /// [`Basis::dots_with`] that allocates its own scratch; hot callers
+    /// (the GMRES workspace) thread a reusable buffer instead.
+    pub fn dots(&self, k: usize, w: &[f64], out: &mut [f64]) {
+        let mut scratch = Vec::new();
+        self.dots_with(k, w, out, &mut scratch);
+    }
+
+    /// [`Basis::dots`] with caller-provided scratch for the per-chunk
+    /// partials (`n_chunks · k` values, grown on demand and never
+    /// shrunk) — zero heap allocation once the buffer has reached its
+    /// high-water mark.
     ///
     /// All `k` products are computed in **one** parallel pass over the
-    /// row chunks: each worker holds its chunk of `w` hot in cache
-    /// while sweeping the stored columns, and the pool is entered once
-    /// per orthogonalization instead of once per column. Per-column
-    /// partial sums are still reduced serially in chunk order, so the
-    /// result is bit-identical for any thread count (and to the
-    /// per-column formulation this replaces).
-    pub fn dots(&self, k: usize, w: &[f64], out: &mut [f64]) {
+    /// row chunks through the storage format's fused multi-column
+    /// kernel ([`ColumnStorage::dots_chunk`]): each worker holds its
+    /// chunk of `w` hot in cache while sweeping the stored columns, and
+    /// the pool is entered once per orthogonalization instead of once
+    /// per column. Per-column partial sums are still reduced serially
+    /// in chunk order, so the result is bit-identical for any thread
+    /// count (and to the per-column formulation this replaces).
+    pub fn dots_with(&self, k: usize, w: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
         assert!(k <= self.cols());
         assert_eq!(w.len(), self.rows());
         assert!(out.len() >= k);
@@ -82,37 +106,39 @@ impl<S: ColumnStorage> Basis<S> {
         let n = self.rows();
         let chunk = self.chunk;
         let n_chunks = n.div_ceil(chunk);
+        if scratch.len() < n_chunks * k {
+            scratch.resize(n_chunks * k, 0.0);
+        }
         let store = &self.store;
-        let partials: Vec<Vec<f64>> = (0..n_chunks)
-            .into_par_iter()
-            .map(|c| {
+        let partials = &mut scratch[..n_chunks * k];
+        partials
+            .par_chunks_mut(k)
+            .enumerate()
+            .for_each(|(c, slot)| {
                 let start = c * chunk;
                 let len = chunk.min(n - start);
-                let wc = &w[start..start + len];
-                (0..k).map(|j| store.dot_chunk(j, start, wc)).collect()
-            })
-            .collect();
+                store.dots_chunk(k, start, &w[start..start + len], slot);
+            });
         for (j, out_j) in out.iter_mut().enumerate().take(k) {
-            *out_j = partials.iter().map(|p| p[j]).sum();
+            *out_j = (0..n_chunks).map(|c| partials[c * k + j]).sum();
         }
     }
 
     /// `w ← w + Σ_i alpha[i] · V[:, i]` for `i in 0..k` — the projection
-    /// update of step 5 (callers pass `alpha = -h`).
+    /// update of step 5 (callers pass `alpha = -h`). One parallel pass;
+    /// within each chunk the format's fused [`ColumnStorage::gemv_chunk`]
+    /// loads and stores `w` once for all `k` columns.
     pub fn axpys(&self, k: usize, alpha: &[f64], w: &mut [f64]) {
         assert!(k <= self.cols());
         assert!(alpha.len() >= k);
         assert_eq!(w.len(), self.rows());
+        if k == 0 {
+            return;
+        }
         let chunk = self.chunk;
         let store = &self.store;
         w.par_chunks_mut(chunk).enumerate().for_each(|(c, wc)| {
-            let start = c * chunk;
-            for (j, &a) in alpha.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                store.axpy_chunk(j, start, a, wc);
-            }
+            store.gemv_chunk(k, c * chunk, &alpha[..k], wc);
         });
     }
 

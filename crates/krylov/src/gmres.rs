@@ -123,7 +123,10 @@ fn givens(a: f64, b: f64) -> (f64, f64) {
 /// Work buffers of one restart cycle, allocated once per solve and
 /// reused across cycles (and across basis-format switches in
 /// `adaptive_gmres` — the buffers depend only on `(n, m)`, not on the
-/// storage format).
+/// storage format). Includes the flat per-chunk partial buffer for
+/// [`Basis::dots_with`] and the back-substitution vector, so the
+/// orthogonalization inner loop performs **zero** heap allocations
+/// (guarded by the counting allocator in `tests/ortho_alloc_guard.rs`).
 pub(crate) struct Workspace {
     pub(crate) r: Vec<f64>,
     w: Vec<f64>,
@@ -136,12 +139,21 @@ pub(crate) struct Workspace {
     cs: Vec<f64>,
     sn: Vec<f64>,
     g: Vec<f64>,
+    y: Vec<f64>,
+    /// Flat `n_chunks × k` scratch for the orthogonalization partials.
+    /// Pre-sized for the worst case (`k = m + 1` columns over the
+    /// smallest possible chunking), so `dots_with` never grows it.
+    dot_partials: Vec<f64>,
     m: usize,
     ld: usize,
 }
 
 impl Workspace {
     pub(crate) fn new(n: usize, m: usize) -> Self {
+        // A basis rounds its chunk UP from TARGET_CHUNK to the storage
+        // block alignment, so n.div_ceil(TARGET_CHUNK) bounds n_chunks
+        // for every format (including mid-solve adaptive switches).
+        let max_chunks = n.div_ceil(crate::basis::TARGET_CHUNK);
         Workspace {
             r: vec![0.0; n],
             w: vec![0.0; n],
@@ -154,6 +166,8 @@ impl Workspace {
             cs: vec![0.0; m],
             sn: vec![0.0; m],
             g: vec![0.0; m + 1],
+            y: vec![0.0; m],
+            dot_partials: vec![0.0; max_chunks * (m + 1)],
             m,
             ld: m + 1,
         }
@@ -250,8 +264,10 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
         // Step 4.
         let omega = norm2(&ws.w);
 
-        // Step 5: classical Gram-Schmidt against the compressed basis.
-        basis.dots(j + 1, &ws.w, &mut ws.h[..j + 1]);
+        // Step 5: classical Gram-Schmidt against the compressed basis,
+        // through the fused multi-column kernels with the workspace's
+        // preallocated partial buffer (no per-iteration allocation).
+        basis.dots_with(j + 1, &ws.w, &mut ws.h[..j + 1], &mut ws.dot_partials);
         for i in 0..=j {
             ws.neg[i] = -ws.h[i];
         }
@@ -269,7 +285,7 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
         let mut broke_down = hj1 == 0.0;
         if !broke_down && hj1 < opts.reorth_eta * omega {
             let before = hj1;
-            basis.dots(j + 1, &ws.w, &mut ws.u[..j + 1]);
+            basis.dots_with(j + 1, &ws.w, &mut ws.u[..j + 1], &mut ws.dot_partials);
             for i in 0..=j {
                 ws.neg[i] = -ws.u[i];
                 ws.h[i] += ws.u[i]; // step 9
@@ -358,7 +374,7 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
     // A cycle that recorded nothing (immediate non-finite breakdown)
     // has no update to apply.
     if j >= 1 {
-        let mut y = vec![0.0; j];
+        let y = &mut ws.y[..j];
         for i in (0..j).rev() {
             let mut acc = ws.g[i];
             for (k, yk) in y.iter().enumerate().skip(i + 1) {
@@ -369,7 +385,7 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
             // minimizer then ignores that direction.
             y[i] = if d != 0.0 { acc / d } else { 0.0 };
         }
-        basis.combine(&y, &mut ws.z);
+        basis.combine(&ws.y[..j], &mut ws.z);
         stats.basis_bytes_read += j as u64 * col_bytes;
         precond.apply(&ws.z, &mut ws.vj);
         axpy(1.0, &ws.vj, x);

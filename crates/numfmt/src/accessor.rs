@@ -163,6 +163,53 @@ pub trait ColumnStorage: Send + Sync {
         }
     }
 
+    /// Multi-column fused dot products:
+    /// `out[j] = Σ_i column_j[row_start + i] · w[i]` for every
+    /// `j < k` — the whole Gram-Schmidt projection row `h = Vᵀw` over
+    /// one row chunk in a single sweep.
+    ///
+    /// The default simply runs [`ColumnStorage::dot_chunk`] per column
+    /// (inheriting its tiling); block formats override with kernels
+    /// that sweep all `k` columns per storage block so each block of
+    /// `w` is loaded once instead of `k` times.
+    ///
+    /// # Bit-identity contract
+    /// `out[j]` must accumulate column `j`'s products in row order with
+    /// one accumulator — i.e. be bit-for-bit what `k` independent
+    /// [`ColumnStorage::dot_chunk`] calls would produce. The solver's
+    /// reproducibility-across-formats-and-threads guarantees depend on
+    /// every implementation honoring this.
+    fn dots_chunk(&self, k: usize, row_start: usize, w: &[f64], out: &mut [f64]) {
+        for (j, out_j) in out.iter_mut().enumerate().take(k) {
+            *out_j = self.dot_chunk(j, row_start, w);
+        }
+    }
+
+    /// Multi-column fused update:
+    /// `w[i] += Σ_j alphas[j] · column_j[row_start + i]` for every
+    /// `j < k` — the projection update `w ← w − Vh` over one row chunk
+    /// in a single sweep (callers pass `alphas = −h`).
+    ///
+    /// The default applies [`ColumnStorage::axpy_chunk`] per column;
+    /// overrides fuse the sweep so each element of `w` is loaded and
+    /// stored once for all `k` columns instead of `k` times.
+    ///
+    /// # Bit-identity contract
+    /// Per element, column contributions must apply one at a time in
+    /// ascending `j` (each addition separately rounded), and columns
+    /// with `alphas[j] == 0.0` must be skipped entirely — adding a
+    /// literal `+ 0.0` could flip a signed zero. The result must be
+    /// bit-for-bit what `k` sequential [`ColumnStorage::axpy_chunk`]
+    /// calls (skipping zero coefficients) would produce.
+    fn gemv_chunk(&self, k: usize, row_start: usize, alphas: &[f64], w: &mut [f64]) {
+        for (j, &a) in alphas.iter().enumerate().take(k) {
+            if a == 0.0 {
+                continue;
+            }
+            self.axpy_chunk(j, row_start, a, w);
+        }
+    }
+
     /// Bytes of storage actually occupied by one column, including any
     /// per-block metadata. Drives the memory-traffic model.
     fn column_bytes(&self) -> usize;
@@ -239,6 +286,16 @@ impl ColumnStorage for Box<dyn ColumnStorage> {
     #[inline]
     fn axpy_chunk(&self, j: usize, row_start: usize, alpha: f64, w: &mut [f64]) {
         (**self).axpy_chunk(j, row_start, alpha, w)
+    }
+
+    #[inline]
+    fn dots_chunk(&self, k: usize, row_start: usize, w: &[f64], out: &mut [f64]) {
+        (**self).dots_chunk(k, row_start, w, out)
+    }
+
+    #[inline]
+    fn gemv_chunk(&self, k: usize, row_start: usize, alphas: &[f64], w: &mut [f64]) {
+        (**self).gemv_chunk(k, row_start, alphas, w)
     }
 
     fn column_bytes(&self) -> usize {
@@ -326,6 +383,58 @@ impl<T: StoredScalar> ColumnStorage for DenseStore<T> {
         let col = &self.data[j * self.rows + row_start..j * self.rows + row_start + w.len()];
         for (b, a) in w.iter_mut().zip(col) {
             *b += alpha * a.decode();
+        }
+    }
+
+    /// Fused multi-column dots, tiled so the active slice of `w` stays
+    /// cache-hot while all `k` column tiles stream past it. Each
+    /// accumulator still sums its column in row order (tile by tile),
+    /// so results are bit-identical to per-column
+    /// [`DenseStore::dot_chunk`][ColumnStorage::dot_chunk] calls.
+    fn dots_chunk(&self, k: usize, row_start: usize, w: &[f64], out: &mut [f64]) {
+        const TILE: usize = 64;
+        let rows = self.rows;
+        out[..k].fill(0.0);
+        let mut off = 0;
+        while off < w.len() {
+            let len = TILE.min(w.len() - off);
+            let wt = &w[off..off + len];
+            for (j, acc) in out[..k].iter_mut().enumerate() {
+                let base = j * rows + row_start + off;
+                let col = &self.data[base..base + len];
+                let mut a = *acc;
+                for (x, y) in col.iter().zip(wt) {
+                    a += x.decode() * y;
+                }
+                *acc = a;
+            }
+            off += len;
+        }
+    }
+
+    /// Fused multi-column update: each tile of `w` is loaded and stored
+    /// once for all `k` columns. Per element the columns apply in `j`
+    /// order and zero coefficients are skipped, so results are
+    /// bit-identical to sequential
+    /// [`DenseStore::axpy_chunk`][ColumnStorage::axpy_chunk] calls.
+    fn gemv_chunk(&self, k: usize, row_start: usize, alphas: &[f64], w: &mut [f64]) {
+        const TILE: usize = 64;
+        let rows = self.rows;
+        let mut off = 0;
+        while off < w.len() {
+            let len = TILE.min(w.len() - off);
+            let wt = &mut w[off..off + len];
+            for (j, &a) in alphas.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let base = j * rows + row_start + off;
+                let col = &self.data[base..base + len];
+                for (b, x) in wt.iter_mut().zip(col) {
+                    *b += a * x.decode();
+                }
+            }
+            off += len;
         }
     }
 
