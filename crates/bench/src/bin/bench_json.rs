@@ -6,10 +6,24 @@
 //! thread counts and emits schema-stable `BENCH_<name>.json` files
 //! plus a combined `results/bench_json.csv`.
 //!
+//! Schema v4 extends the solve suite with `cb_gmres_adaptive_bidir`
+//! (ladder escalation *and* de-escalation in one trajectory, both
+//! asserted in-harness) and the runs-operator pair
+//! `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` (fixed `frsz2_16`
+//! stagnates; the per-block adaptive store converges below the
+//! whole-basis `frsz2_21` rate).
+//!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
 //! bench_json --validate BENCH_spmv.json [MORE.json ...]
+//! bench_json --check-bidirectional BENCH_solve.json [MORE.json ...]
 //! ```
+//!
+//! `--check-bidirectional` re-reads committed solve documents and
+//! fails unless the `cb_gmres_adaptive_bidir` trajectory steps up the
+//! escalation ladder at least once and back down at least once after —
+//! the CI guard that keeps the committed artifact genuinely
+//! bidirectional.
 //!
 //! Every case records a **fingerprint** (FNV-1a over the bit patterns
 //! of its numeric output); the harness exits non-zero if any case's
@@ -25,8 +39,11 @@
 
 use bench::json::{self, Json};
 use bench::report;
-use frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
-use krylov::{adaptive_gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, SolveResult};
+use frsz2::{Frsz2AdaptiveStore, Frsz2Config, Frsz2Store, Frsz2Vector};
+use krylov::{
+    adaptive_gmres, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, SolveResult,
+    ESCALATION_LADDER,
+};
 use numfmt::ColumnStorage;
 use spla::{auto_format, gen, Ell, SellCSigma, SparseMatrix};
 use std::time::Instant;
@@ -36,6 +53,7 @@ struct Args {
     threads: Vec<usize>,
     runs: usize,
     validate: Vec<String>,
+    check_bidirectional: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +62,7 @@ fn parse_args() -> Args {
         threads: Vec::new(),
         runs: 0,
         validate: Vec::new(),
+        check_bidirectional: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +93,14 @@ fn parse_args() -> Args {
                 assert!(
                     !args.validate.is_empty(),
                     "--validate needs at least one file"
+                );
+                break;
+            }
+            "--check-bidirectional" => {
+                args.check_bidirectional = argv[i + 1..].to_vec();
+                assert!(
+                    !args.check_bidirectional.is_empty(),
+                    "--check-bidirectional needs at least one file"
                 );
                 break;
             }
@@ -721,6 +748,139 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
         }
     }
 
+    // Bidirectional driver (schema v4): same wide-range operator, but
+    // with de-escalation armed at single-cycle hysteresis. The
+    // committed trajectory must walk the ladder both ways — escalating
+    // out of frsz2_16 stagnation *and* stepping back down once the
+    // implicit and explicit residuals agree through a ≥10× drop.
+    let bidir = || -> SolveResult {
+        let aopts = AdaptiveOptions {
+            gmres: stag_opts.clone(),
+            de_escalate: true,
+            de_escalation_cycles: 1,
+            ..AdaptiveOptions::default()
+        };
+        adaptive_gmres(&scaled, &b2, &x02, &aopts, &Identity)
+    };
+    for &threads in &args.threads {
+        let mut last: Option<SolveResult> = None;
+        let samples = time_under_pool(threads, args.runs, || last = Some(bidir()));
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        let r = last.expect("at least one solve ran");
+        assert!(
+            r.stats.converged,
+            "bidirectional adaptive solve failed to converge (rrn {:.2e}, trajectory {:?})",
+            r.stats.final_rrn, r.stats.format_trajectory
+        );
+        assert!(
+            r.stats.escalations >= 1,
+            "bidirectional solve never escalated (trajectory {:?})",
+            r.stats.format_trajectory
+        );
+        assert!(
+            r.stats.de_escalations >= 1,
+            "bidirectional solve never de-escalated (trajectory {:?})",
+            r.stats.format_trajectory
+        );
+        let mut h = Fnv::new();
+        h.push(r.stats.iterations as u64);
+        for point in &r.history {
+            h.push(point.rrn.to_bits());
+        }
+        for f in &r.stats.format_trajectory {
+            for byte in f.as_bytes() {
+                h.push(u64::from(*byte));
+            }
+        }
+        cases.push(CaseResult {
+            name: "cb_gmres_adaptive_bidir".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("converged".into(), f64::from(u8::from(r.stats.converged))),
+                ("iterations".into(), r.stats.iterations as f64),
+                ("final_rrn".into(), r.stats.final_rrn),
+                ("escalations".into(), r.stats.escalations as f64),
+                ("de_escalations".into(), r.stats.de_escalations as f64),
+                ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
+            ],
+            fingerprint: h.hex(),
+            format_trajectory: Some(r.stats.format_trajectory.clone()),
+        });
+    }
+
+    // Runs-operator pair (schema v4): plateaus of 16 equal scaling
+    // entries spread over 24 binades. Most 32-value blocks straddle at
+    // most one plateau boundary, so the per-block store spends long
+    // bit lengths only where they are needed — the regime where fixed
+    // frsz2_16 stagnates but `frsz2_ab` converges below the whole-basis
+    // frsz2_21 rate.
+    let runs_m = gen::wide_range_conv_diff_runs(s2, s2, s2, 24, 16, 0x5202);
+    let (_, b3) = spla::dense::manufactured_rhs(&runs_m);
+    let x03 = vec![0.0; runs_m.rows()];
+    let fixed16_runs = || -> SolveResult {
+        gmres_with(&runs_m, &b3, &x03, &stag_opts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg16, rows, cols)
+        })
+    };
+    let ab_runs = || -> SolveResult {
+        gmres::<Frsz2AdaptiveStore, _, _>(&runs_m, &b3, &x03, &stag_opts, &Identity)
+    };
+    let runs_pair: [(&str, &dyn Fn() -> SolveResult); 2] = [
+        ("cb_gmres_frsz2_16_runs", &fixed16_runs),
+        ("cb_gmres_frsz2_ab", &ab_runs),
+    ];
+    for (name, run) in runs_pair {
+        for &threads in &args.threads {
+            let mut last: Option<SolveResult> = None;
+            let samples = time_under_pool(threads, args.runs, || last = Some(run()));
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            let r = last.expect("at least one solve ran");
+            if name == "cb_gmres_frsz2_ab" {
+                assert!(
+                    r.stats.converged,
+                    "frsz2_ab solve failed to converge (rrn {:.2e})",
+                    r.stats.final_rrn
+                );
+                assert!(
+                    r.stats.basis_bits_per_value < 22.0,
+                    "frsz2_ab rate {:.2} bpv not below the frsz2_21 whole-basis rate",
+                    r.stats.basis_bits_per_value
+                );
+            } else {
+                assert!(
+                    !r.stats.converged,
+                    "fixed frsz2_16 unexpectedly converged on the runs operator; \
+                     the counterpoint is dead"
+                );
+            }
+            let mut h = Fnv::new();
+            h.push(r.stats.iterations as u64);
+            for point in &r.history {
+                h.push(point.rrn.to_bits());
+            }
+            cases.push(CaseResult {
+                name: name.into(),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("converged".into(), f64::from(u8::from(r.stats.converged))),
+                    ("iterations".into(), r.stats.iterations as f64),
+                    ("final_rrn".into(), r.stats.final_rrn),
+                    ("basis_bits_per_value".into(), r.stats.basis_bits_per_value),
+                ],
+                fingerprint: h.hex(),
+                format_trajectory: None,
+            });
+        }
+    }
+
     let config = vec![
         ("matrix", Json::Str(format!("conv_diff_3d {s}^3"))),
         ("rows", Json::Num(a.rows() as f64)),
@@ -736,6 +896,15 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
         ("stagnation_rows", Json::Num(scaled.rows() as f64)),
         ("stagnation_restart", Json::Num(30.0)),
         ("stagnation_max_iters", Json::Num(1200.0)),
+        (
+            "runs_matrix",
+            Json::Str(format!(
+                "conv_diff_3d {s2}^3 similarity-scaled (24 binades, runs of 16)"
+            )),
+        ),
+        ("runs_run_length", Json::Num(16.0)),
+        ("bidir_de_escalation_drop", Json::Num(10.0)),
+        ("bidir_de_escalation_cycles", Json::Num(1.0)),
     ];
     (
         emit_doc("solve", args.quick, config, &cases, "cb_gmres_frsz2_21"),
@@ -763,10 +932,93 @@ fn validate_files(files: &[String]) {
     }
 }
 
+/// CI guard over *committed* solve documents: every
+/// `cb_gmres_adaptive_bidir` case must report at least one escalation
+/// and one de-escalation, and its trajectory must actually step up the
+/// [`ESCALATION_LADDER`] before stepping back down. This is what keeps
+/// a committed `BENCH_solve.json` honest about bidirectionality — a
+/// regenerated artifact whose driver silently stopped de-escalating
+/// fails here, not at review time.
+fn check_bidirectional_files(files: &[String]) {
+    let rung = |name: &str| -> Option<usize> { ESCALATION_LADDER.iter().position(|&f| f == name) };
+    let mut failed = false;
+    let mut checked = 0usize;
+    for path in files {
+        let doc = match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| json::parse(&text).map_err(|e| format!("parse error: {e}")))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let cases = doc.get("cases").and_then(Json::as_arr).unwrap_or(&[]);
+        for case in cases {
+            let name = case.get("name").and_then(Json::as_str).unwrap_or("");
+            if name != "cb_gmres_adaptive_bidir" {
+                continue;
+            }
+            checked += 1;
+            let metric = |key: &str| {
+                case.get("metrics")
+                    .and_then(|m| m.get(key))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            if metric("escalations") < 1.0 || metric("de_escalations") < 1.0 {
+                eprintln!(
+                    "{path}: cb_gmres_adaptive_bidir reports escalations={} \
+                     de_escalations={} — the committed trajectory is not bidirectional",
+                    metric("escalations"),
+                    metric("de_escalations"),
+                );
+                failed = true;
+                continue;
+            }
+            // The trajectory itself must show an up-step followed by a
+            // later down-step on the ladder's rung order.
+            let traj: Vec<usize> = case
+                .get("format_trajectory")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|f| f.as_str().and_then(rung))
+                .collect();
+            let first_up = traj.windows(2).position(|w| w[1] > w[0]);
+            let down_after = first_up.map(|up| {
+                traj.windows(2)
+                    .enumerate()
+                    .any(|(i, w)| i > up && w[1] < w[0])
+            });
+            if down_after != Some(true) {
+                eprintln!(
+                    "{path}: cb_gmres_adaptive_bidir trajectory {traj:?} (ladder rungs) \
+                     never steps down after stepping up"
+                );
+                failed = true;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("no cb_gmres_adaptive_bidir case found in {files:?}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bidirectional trajectory ok ({checked} case rows)");
+}
+
 fn main() {
     let args = parse_args();
     if !args.validate.is_empty() {
         return validate_files(&args.validate);
+    }
+    if !args.check_bidirectional.is_empty() {
+        return check_bidirectional_files(&args.check_bidirectional);
     }
 
     println!(

@@ -7,8 +7,14 @@
 //! reproduce: frsz2_32 nearly matches float64; none of the prediction/
 //! transform codecs match even float32, despite sz3_08 spending ~46
 //! bits/value.
+//!
+//! `--format NAME` replaces the series with a single format (e.g.
+//! `--format adaptive`), and `--precond jacobi|block_jacobi` runs the
+//! whole figure right-preconditioned: every series shares the same
+//! `M⁻¹`, so the comparison stays at equal basis traffic.
 
-use bench::runner::{convergence_histories, default_opts, prepare, report_histories, Cli};
+use bench::runner::{convergence_histories_precond, default_opts, prepare, report_histories, Cli};
+use krylov::Preconditioner;
 
 fn main() {
     let mut cli = Cli::parse();
@@ -17,15 +23,17 @@ fn main() {
     }
     let p = prepare("atmosmodd", &cli);
     let opts = default_opts(&p, &cli);
+    let precond = cli.build_precond(&p.matrix);
     println!(
-        "=== Fig. 5: atmosmodd (n = {}), target RRN {:.1e}, absolute bounds ===",
+        "=== Fig. 5: atmosmodd (n = {}), target RRN {:.1e}, absolute bounds, precond {} ===",
         p.matrix.rows(),
-        opts.target_rrn
+        opts.target_rrn,
+        precond.name()
     );
-    let formats = [
+    let formats = cli.formats(&[
         "float64", "float32", "float16", "frsz2_32", "zfp_06", "zfp_10", "sz3_06", "sz3_07",
         "sz3_08",
-    ];
-    let runs = convergence_histories(&p, &opts, &formats);
+    ]);
+    let runs = convergence_histories_precond(&p, &opts, &formats, &precond);
     report_histories("fig05_convergence_abs", &runs);
 }

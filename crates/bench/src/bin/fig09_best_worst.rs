@@ -9,19 +9,30 @@
 //! and stagnates for a long stretch (the within-block exponent-spread
 //! flushing of §VI-A), while float16 never gets anywhere near.
 
-use bench::runner::{convergence_histories, default_opts, prepare, report_histories, Cli};
+//! `--format NAME` replaces the series with a single format (e.g.
+//! `--format adaptive` to watch the escalation driver on PR02R), and
+//! `--precond jacobi|block_jacobi` right-preconditions both panels
+//! with a per-matrix `M⁻¹` shared across the series, keeping the
+//! comparison at equal basis traffic.
+
+use bench::runner::{convergence_histories_precond, default_opts, prepare, report_histories, Cli};
+use krylov::Preconditioner;
 
 fn main() {
     let mut cli = Cli::parse();
     if cli.max_iters == 20_000 {
         cli.max_iters = 6_000;
     }
-    let formats = ["float64", "float32", "float16", "frsz2_32"];
+    let formats = cli.formats(&["float64", "float32", "float16", "frsz2_32"]);
 
-    println!("=== Fig. 9a: atmosmodm (FRSZ2 best case) ===");
     let pa = prepare("atmosmodm", &cli);
+    let precond_a = cli.build_precond(&pa.matrix);
+    println!(
+        "=== Fig. 9a: atmosmodm (FRSZ2 best case), precond {} ===",
+        precond_a.name()
+    );
     let opts_a = default_opts(&pa, &cli);
-    let runs_a = convergence_histories(&pa, &opts_a, &formats);
+    let runs_a = convergence_histories_precond(&pa, &opts_a, &formats, &precond_a);
     report_histories("fig09a_atmosmodm", &runs_a);
 
     // Quantify the restart correction (the Fig. 9a jump).
@@ -35,9 +46,13 @@ fn main() {
         println!("  {name}: largest explicit/implicit restart correction = {jump:.2}x");
     }
 
-    println!("\n=== Fig. 9b: PR02R (FRSZ2 worst case) ===");
     let pb = prepare("PR02R", &cli);
+    let precond_b = cli.build_precond(&pb.matrix);
+    println!(
+        "\n=== Fig. 9b: PR02R (FRSZ2 worst case), precond {} ===",
+        precond_b.name()
+    );
     let opts_b = default_opts(&pb, &cli);
-    let runs_b = convergence_histories(&pb, &opts_b, &formats);
+    let runs_b = convergence_histories_precond(&pb, &opts_b, &formats, &precond_b);
     report_histories("fig09b_pr02r", &runs_b);
 }

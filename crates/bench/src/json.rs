@@ -8,11 +8,11 @@
 //! the same key sequence, making the files diffable across PRs — they
 //! are the perf trajectory CI artifacts are judged against.
 //!
-//! # `BENCH_*.json` schema (version 3)
+//! # `BENCH_*.json` schema (version 4)
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "bench": "spmv",                  // suite name
 //!   "quick": false,                   // quick (CI smoke) sizes?
 //!   "threads_available": 8,           // host parallelism at run time
@@ -71,6 +71,28 @@
 //!   on any fused-vs-reference divergence, same machinery as the
 //!   sparse cross-format groups.
 //!
+//! ## Schema v4 (per-block adaptive store and bidirectional driver)
+//!
+//! Version 4 changes no keys — it extends the solve-suite case
+//! inventory alongside the per-block adaptive store (`frsz2_ab`) and
+//! the bidirectional adaptive driver:
+//!
+//! * `cb_gmres_adaptive_bidir` runs the adaptive driver with ladder
+//!   de-escalation enabled (single-cycle hysteresis, drop factor 10)
+//!   on the same similarity-scaled stagnation operator as
+//!   `cb_gmres_adaptive`. The harness asserts the solve converges with
+//!   `metrics.escalations ≥ 1` **and** `metrics.de_escalations ≥ 1`,
+//!   so the committed `format_trajectory` always shows both
+//!   directions; the trajectory participates in the fingerprint, so a
+//!   hysteresis divergence across thread counts fails the run.
+//! * `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` run on the
+//!   mixed-regime runs-correlated operator
+//!   (`wide_range_conv_diff_runs`: scale plateaus of 16 consecutive
+//!   entries over 24 binades). Fixed `frsz2_16` stagnates there (the
+//!   harness asserts `converged == 0`) while the per-block store
+//!   converges at `metrics.basis_bits_per_value < 22` — cheaper than
+//!   whole-basis `frsz2_21` on data where `frsz2_16` is unusable.
+//!
 //! ## Case inventory
 //!
 //! * `spmv` — one case per sparse format on the *same* matrix and
@@ -90,7 +112,11 @@
 //!   stagnation pair on a PR02R-like similarity-scaled operator:
 //!   `cb_gmres_frsz2_16_fixed` (stagnates by design; the harness
 //!   asserts `converged == 0`) and `cb_gmres_adaptive` (escalating
-//!   basis; must converge, `metrics.escalations ≥ 1`).
+//!   basis; must converge, `metrics.escalations ≥ 1`). Since v4 the
+//!   suite adds `cb_gmres_adaptive_bidir` (escalation *and*
+//!   de-escalation in one trajectory) and the runs-operator pair
+//!   `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` (see v4 notes
+//!   above).
 
 use std::fmt;
 
@@ -399,7 +425,7 @@ impl Parser<'_> {
 }
 
 /// Current `BENCH_*.json` schema version.
-pub const BENCH_SCHEMA_VERSION: f64 = 3.0;
+pub const BENCH_SCHEMA_VERSION: f64 = 4.0;
 
 fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
     v.get(key)
@@ -408,7 +434,7 @@ fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a finite number"))
 }
 
-/// Validate a parsed document against the version-3 bench schema
+/// Validate a parsed document against the version-4 bench schema
 /// documented at module level. Returns the number of cases.
 pub fn validate_bench(doc: &Json) -> Result<usize, String> {
     if !matches!(doc, Json::Obj(_)) {
@@ -504,7 +530,7 @@ mod tests {
 
     fn sample_doc() -> Json {
         Json::obj(vec![
-            ("schema_version", Json::Num(3.0)),
+            ("schema_version", Json::Num(4.0)),
             ("bench", Json::Str("spmv".into())),
             ("quick", Json::Bool(true)),
             ("threads_available", Json::Num(4.0)),
@@ -596,7 +622,7 @@ mod tests {
         let wrong_version = parse(
             &sample_doc()
                 .to_string()
-                .replace("\"schema_version\": 3", "\"schema_version\": 2"),
+                .replace("\"schema_version\": 4", "\"schema_version\": 3"),
         )
         .unwrap();
         assert!(validate_bench(&wrong_version).is_err());

@@ -51,12 +51,14 @@ fn cost_for(spec: &FormatSpec) -> FormatCost {
         // Round-trip codecs are quality-only in the paper (§V-D); model
         // their traffic as f64 (they are never timed in Fig. 11).
         FormatSpec::Lossy(_) => StreamFormat::AccF64,
-        // An adaptive solve mixes ladder formats across cycles; its
-        // byte counters already carry the real per-cycle traffic, so
-        // only the per-value decode cost needs a representative —
-        // frsz2_32, the rung where escalating solves spend most
-        // decompression work.
-        FormatSpec::Adaptive => StreamFormat::Frsz2(32),
+        // An adaptive solve mixes ladder formats across cycles (and the
+        // per-block store mixes them across blocks); the byte counters
+        // already carry the real traffic, so only the per-value decode
+        // cost needs a representative — frsz2_32, the rung/length where
+        // these solves spend most decompression work.
+        FormatSpec::Adaptive | FormatSpec::AdaptiveBidir | FormatSpec::Frsz2Adaptive => {
+            StreamFormat::Frsz2(32)
+        }
     };
     let c = measure(fmt);
     cache.lock().unwrap().insert(key, c);

@@ -1,6 +1,6 @@
 //! Shared experiment plumbing: CLI options, problem setup, solve loops.
 
-use crate::formats::{self, FormatSpec};
+use crate::formats::{self, FormatSpec, Precond};
 use krylov::{GmresOptions, SolveResult};
 use spla::dense::manufactured_rhs;
 use spla::suite::{self, SuiteMatrix};
@@ -12,7 +12,8 @@ use spla::Csr;
 /// (default 1.0), `--runs N` repetitions for timing figures, `--matrix
 /// NAME` restrict to one matrix, `--format NAME` restrict to one format,
 /// `--mtx PATH` load a real MatrixMarket file instead of the analogue,
-/// `--max-iters N` iteration cap.
+/// `--max-iters N` iteration cap, `--precond NAME` right preconditioner
+/// (`none`/`jacobi`/`block_jacobi`; figures 5 and 9).
 #[derive(Clone, Debug)]
 pub struct Cli {
     pub scale: f64,
@@ -23,6 +24,7 @@ pub struct Cli {
     pub max_iters: usize,
     /// Override the stopping target (probe/calibration use).
     pub target: Option<f64>,
+    pub precond: Option<String>,
 }
 
 impl Default for Cli {
@@ -35,6 +37,7 @@ impl Default for Cli {
             mtx: None,
             max_iters: 20_000,
             target: None,
+            precond: None,
         }
     }
 }
@@ -61,6 +64,7 @@ impl Cli {
                 ("--mtx", Some(v)) => cli.mtx = Some(v),
                 ("--max-iters", Some(v)) => cli.max_iters = v.parse().expect("bad --max-iters"),
                 ("--target", Some(v)) => cli.target = Some(v.parse().expect("bad --target")),
+                ("--precond", Some(v)) => cli.precond = Some(v),
                 _ => took = false,
             }
             i += if took { 2 } else { 1 };
@@ -74,6 +78,23 @@ impl Cli {
             Some(m) => suite::names().into_iter().filter(|n| *n == m).collect(),
             None => suite::names(),
         }
+    }
+
+    /// Formats selected: `--format NAME` overrides the figure's
+    /// default series (so e.g. `--format adaptive` runs the adaptive
+    /// driver alone against the chosen preconditioner).
+    pub fn formats<'a>(&'a self, default: &[&'a str]) -> Vec<&'a str> {
+        match &self.format {
+            Some(f) => vec![f.as_str()],
+            None => default.to_vec(),
+        }
+    }
+
+    /// Build the `--precond` preconditioner for `matrix` (identity
+    /// when the flag is absent).
+    pub fn build_precond(&self, matrix: &Csr) -> Precond {
+        let name = self.precond.as_deref().unwrap_or("none");
+        Precond::parse(name, matrix).unwrap_or_else(|| panic!("unknown preconditioner {name}"))
     }
 }
 
@@ -134,6 +155,17 @@ pub fn solve_problem(p: &Problem, opts: &GmresOptions, spec: &FormatSpec) -> Sol
     formats::solve(&p.matrix, &p.b, &x0, opts, spec)
 }
 
+/// [`solve_problem`] under an explicit right preconditioner.
+pub fn solve_problem_precond(
+    p: &Problem,
+    opts: &GmresOptions,
+    spec: &FormatSpec,
+    precond: &Precond,
+) -> SolveResult {
+    let x0 = vec![0.0; p.matrix.rows()];
+    formats::solve_precond(&p.matrix, &p.b, &x0, opts, spec, precond)
+}
+
 /// Run `p` once per named format and collect the results (convergence
 /// figures 5/6/9).
 pub fn convergence_histories(
@@ -141,11 +173,23 @@ pub fn convergence_histories(
     opts: &GmresOptions,
     format_names: &[&str],
 ) -> Vec<(String, SolveResult)> {
+    convergence_histories_precond(p, opts, format_names, &Precond::None(krylov::Identity))
+}
+
+/// [`convergence_histories`] with a shared preconditioner: every
+/// format runs against the *same* `M⁻¹`, so the series differ only in
+/// basis storage — the equal-traffic comparison `--precond` asks for.
+pub fn convergence_histories_precond(
+    p: &Problem,
+    opts: &GmresOptions,
+    format_names: &[&str],
+    precond: &Precond,
+) -> Vec<(String, SolveResult)> {
     format_names
         .iter()
         .map(|name| {
             let spec = formats::parse(name).unwrap_or_else(|| panic!("unknown format {name}"));
-            let r = solve_problem(p, opts, &spec);
+            let r = solve_problem_precond(p, opts, &spec, precond);
             eprintln!(
                 "  {name}: iters={} converged={} final_rrn={:.2e} bits/value={:.1}",
                 r.stats.iterations,

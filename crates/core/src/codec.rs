@@ -241,7 +241,7 @@ pub fn compress_into(cfg: Frsz2Config, input: &[f64], words: &mut [u32], exps: &
         // plain scan over the raw exponent fields — the `e = 0 → 1`
         // effective-exponent fixup folds into the `max` with the
         // initial 1, so the loop body is two shifts and a max.
-        let mut emax = 1u32;
+        let mut emax = crate::reference::ZERO_BLOCK_EXPONENT;
         for &v in chunk {
             debug_assert!(v.is_finite(), "FRSZ2 input must be finite");
             emax = emax.max(((v.to_bits() >> 52) & 0x7FF) as u32);

@@ -475,6 +475,52 @@ pub(crate) fn gemv_chunk(
     }
 }
 
+// ---------------------------------------------------------------------
+// Per-block entry points (variable-rate stores pick `l` per block).
+// ---------------------------------------------------------------------
+
+/// Decode one block's leading `out.len()` values for a per-block bit
+/// length (`2 <= l <= 64`). `bw` must be exactly the block's
+/// full-block word span (`words_per_block(l)`), zero-padded past the
+/// last code for partial trailing blocks.
+#[inline]
+pub(crate) fn decode_block(l: u32, bw: &[u32], emax: u32, out: &mut [f64]) {
+    if l <= 32 {
+        dispatch_l!(l, decode_block_le32(l, bw.len(), bw, emax, out));
+    } else {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = decode_code(wide_code(bw, i, l), emax, l);
+        }
+    }
+}
+
+/// Fused decompress-and-dot over one block at a per-block bit length:
+/// `acc += Σ_i vᵢ · wᵢ`, row order (bit-compatible with
+/// [`decode_block`] followed by a plain dot).
+#[inline]
+pub(crate) fn dot_block(l: u32, bw: &[u32], emax: u32, w: &[f64], acc: &mut f64) {
+    if l <= 32 {
+        dispatch_l!(l, dot_block_le32(l, bw.len(), bw, emax, w, acc));
+    } else {
+        for (i, &wv) in w.iter().enumerate() {
+            *acc += decode_code(wide_code(bw, i, l), emax, l) * wv;
+        }
+    }
+}
+
+/// Fused decompress-and-axpy over one block at a per-block bit length:
+/// `wᵢ += alpha · vᵢ`.
+#[inline]
+pub(crate) fn axpy_block(l: u32, bw: &[u32], emax: u32, alpha: f64, w: &mut [f64]) {
+    if l <= 32 {
+        dispatch_l!(l, axpy_block_le32(l, bw.len(), bw, emax, alpha, w));
+    } else {
+        for (i, wv) in w.iter_mut().enumerate() {
+            *wv += alpha * decode_code(wide_code(bw, i, l), emax, l);
+        }
+    }
+}
+
 /// Pack one block for any `l <= 32` through the `u64` staging
 /// register, aligned lengths included (`l = 64` keeps its dedicated
 /// store loop in `compress_into`; other `l > 32` take

@@ -57,6 +57,7 @@
 //! }
 //! ```
 
+pub mod adaptive_store;
 pub mod bitpack;
 pub mod codec;
 pub mod error;
@@ -64,6 +65,7 @@ pub(crate) mod kernels;
 pub mod reference;
 pub mod store;
 
+pub use adaptive_store::Frsz2AdaptiveStore;
 pub use codec::{Frsz2Config, Frsz2Vector, Rounding};
 pub use store::Frsz2Store;
 

@@ -7,6 +7,12 @@
 
 use crate::{mask64, shift_signed};
 
+/// Biased effective exponent of an all-zero (or empty) block:
+/// [`effective_exponent`]`(0.0)`. Stores that pre-fill their per-block
+/// exponent arrays must use this so a never-written column is
+/// indistinguishable from a compressed all-zero column.
+pub const ZERO_BLOCK_EXPONENT: u32 = 1;
+
 /// Biased IEEE-754 exponent used for block alignment.
 ///
 /// Normal values use their exponent field; subnormals and zeros behave as
@@ -41,7 +47,7 @@ pub fn block_emax(values: &[f64]) -> u32 {
         .iter()
         .map(|&v| effective_exponent(v))
         .max()
-        .unwrap_or(1)
+        .unwrap_or(ZERO_BLOCK_EXPONENT)
 }
 
 /// Compress one finite value against a block exponent `emax` into an
@@ -136,6 +142,15 @@ mod tests {
         assert_eq!(effective_exponent(-0.0), 1);
         assert_eq!(effective_exponent(f64::MIN_POSITIVE), 1); // min normal, e=1
         assert_eq!(effective_exponent(f64::MIN_POSITIVE / 2.0), 1); // subnormal
+    }
+
+    /// The canonical zero-block exponent is the effective exponent of
+    /// zero — what `block_emax` reports for empty and all-zero blocks.
+    #[test]
+    fn zero_block_exponent_is_canonical() {
+        assert_eq!(ZERO_BLOCK_EXPONENT, effective_exponent(0.0));
+        assert_eq!(block_emax(&[]), ZERO_BLOCK_EXPONENT);
+        assert_eq!(block_emax(&[0.0, -0.0]), ZERO_BLOCK_EXPONENT);
     }
 
     /// The worked example of Figure 3: a two-value block where the second

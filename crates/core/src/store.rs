@@ -7,6 +7,7 @@
 
 use crate::codec::{self, Frsz2Config};
 use crate::kernels;
+use crate::reference::ZERO_BLOCK_EXPONENT;
 use numfmt::ColumnStorage;
 
 /// Column-major matrix of FRSZ2-compressed columns.
@@ -36,7 +37,7 @@ impl Frsz2Store {
             col_words,
             col_blocks,
             words: vec![0u32; col_words * cols],
-            exps: vec![1u32; col_blocks * cols], // exponent of zero
+            exps: vec![ZERO_BLOCK_EXPONENT; col_blocks * cols],
         }
     }
 
@@ -223,6 +224,22 @@ mod tests {
             (st16.bits_per_value() - 17.0).abs() < 1e-12,
             "frsz2_16 is 17 bits/value"
         );
+    }
+
+    /// Regression: a never-written column must be indistinguishable —
+    /// words *and* per-block exponents — from a column that was
+    /// explicitly compressed from zeros, so `column_exponents` never
+    /// lies about never-compressed columns.
+    #[test]
+    fn unwritten_column_matches_compressed_zeros() {
+        let mut st = Frsz2Store::with_config(Frsz2Config::new(32, 21), 70, 2);
+        st.write_column(0, &vec![0.0; 70]);
+        assert_eq!(st.column_exponents(1), st.column_exponents(0));
+        assert_eq!(st.column_words(1), st.column_words(0));
+        assert!(st
+            .column_exponents(1)
+            .iter()
+            .all(|&e| e == ZERO_BLOCK_EXPONENT));
     }
 
     #[test]

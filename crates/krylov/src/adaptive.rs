@@ -22,6 +22,22 @@
 //! [`crate::SolveStats::format_trajectory`]. All decisions are pure functions
 //! of deterministically-computed residuals, so adaptive solves inherit
 //! the workspace-wide bit-identical-across-thread-counts contract.
+//!
+//! With [`AdaptiveOptions::de_escalate`] the driver is *bidirectional*:
+//! once the explicit residual has shown
+//! [`AdaptiveOptions::de_escalation_cycles`] consecutive healthy
+//! cycles — each improving by at least
+//! [`AdaptiveOptions::de_escalation_drop`] with the implicit estimate
+//! in agreement — the driver steps **down** one rung, reclaiming basis
+//! bandwidth that a conservative escalation left on the table (the
+//! Aliaga et al. observation in reverse: a residual that is dropping
+//! fast has precision headroom to spare). De-escalation carries `x`
+//! across the switch exactly as escalation does, counts in
+//! [`crate::SolveStats::de_escalations`], and shows in the trajectory.
+//! The hysteresis (consecutive-cycle streak, reset on any stagnation
+//! or non-qualifying cycle, one rung per boundary) keeps the ladder
+//! from thrashing. Off by default: existing escalation-only schedules
+//! are reproduced bit for bit.
 
 use crate::basis_format::{self, BasisFormat};
 use crate::gmres::{solve_driver, GmresOptions, SolveResult};
@@ -47,6 +63,21 @@ pub struct AdaptiveOptions {
     /// implicit estimate by more than this factor — the implicit/
     /// explicit gap that precedes false convergence.
     pub max_implicit_explicit_gap: f64,
+    /// Enable ladder de-escalation (default `false`, which reproduces
+    /// the escalation-only schedule bit for bit).
+    pub de_escalate: bool,
+    /// A cycle *qualifies* toward de-escalation when it improves the
+    /// explicit residual by at least this factor
+    /// (`previous_rrn / current_rrn ≥ de_escalation_drop`) while the
+    /// implicit estimate agrees with the explicit residual within
+    /// [`AdaptiveOptions::max_implicit_explicit_gap`] in both
+    /// directions.
+    pub de_escalation_drop: f64,
+    /// Consecutive qualifying cycles required before stepping down one
+    /// rung (the hysteresis that prevents ladder thrash). The streak
+    /// resets on any stagnant or non-qualifying cycle and after every
+    /// rung change.
+    pub de_escalation_cycles: usize,
 }
 
 impl Default for AdaptiveOptions {
@@ -56,6 +87,9 @@ impl Default for AdaptiveOptions {
             start_format: None,
             min_cycle_improvement: 1.5,
             max_implicit_explicit_gap: 10.0,
+            de_escalate: false,
+            de_escalation_drop: 10.0,
+            de_escalation_cycles: 2,
         }
     }
 }
@@ -101,6 +135,26 @@ fn stagnation(
     None
 }
 
+/// Decide whether the just-finished cycle *qualifies* toward
+/// de-escalation: the explicit residual dropped by the hysteresis
+/// factor and the implicit estimate agrees with it within the allowed
+/// gap in **both** directions (an implicit estimate far below the
+/// explicit residual is the stagnation signature, not health; one far
+/// above it means the cycle's own arithmetic is suspect). Pure and
+/// deterministic, like [`stagnation`].
+fn qualifies_for_de_escalation(
+    opts: &AdaptiveOptions,
+    prev_explicit: f64,
+    explicit: f64,
+    last_implicit: Option<f64>,
+) -> bool {
+    let gap = opts.max_implicit_explicit_gap;
+    let agrees = last_implicit.is_some_and(|implicit| {
+        implicit > 0.0 && explicit <= gap * implicit && implicit <= gap * explicit
+    });
+    agrees && explicit > 0.0 && prev_explicit / explicit >= opts.de_escalation_drop
+}
+
 /// Solve `A x = b` with restarted CB-GMRES whose basis format starts
 /// cheap and escalates on stagnation (see module docs).
 ///
@@ -109,8 +163,9 @@ fn stagnation(
 /// implicit points with explicit restart-boundary points, and the
 /// residual history is bit-identical for any thread count. Extra
 /// reporting: [`crate::SolveStats::format_trajectory`] holds the format of
-/// every executed cycle and [`crate::SolveStats::escalations`] counts the
-/// switches; [`crate::SolveStats::format`] is the final (strongest) format.
+/// every executed cycle, [`crate::SolveStats::escalations`] and
+/// [`crate::SolveStats::de_escalations`] count the rung changes in each
+/// direction, and [`crate::SolveStats::format`] is the final format.
 pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
     a: &A,
     b: &[f64],
@@ -121,6 +176,8 @@ pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
     let n = a.rows();
     assert!(opts.min_cycle_improvement >= 1.0);
     assert!(opts.max_implicit_explicit_gap >= 1.0);
+    assert!(opts.de_escalation_drop >= 1.0);
+    assert!(opts.de_escalation_cycles >= 1);
     let m = opts.gmres.restart;
 
     let mut format: Box<dyn BasisFormat> = match &opts.start_format {
@@ -134,8 +191,9 @@ pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
 
     // The shared driver loop owns all boundary semantics (explicit-only
     // convergence, non-finite and max_iters guards); this hook adds the
-    // escalation decision — at most one rung per restart boundary,
-    // judged on the cycle that just finished.
+    // rung decision — at most one rung per restart boundary, in either
+    // direction, judged on the cycle that just finished.
+    let mut qualifying_streak = 0usize;
     solve_driver(
         a,
         b,
@@ -153,18 +211,43 @@ pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
                 boundary.explicit_rrn,
                 boundary.last_implicit_rrn,
             )
-            .is_none()
+            .is_some()
             {
+                qualifying_streak = 0;
+                if let Some(next) = basis_format::escalate(&format.name()) {
+                    format =
+                        basis_format::by_name(&next).expect("escalation targets are registered");
+                    *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                    stats.escalations += 1;
+                    stats.format = basis.format_name();
+                }
+                // Already at the top: nothing stronger to switch to;
+                // keep iterating toward max_iters honestly.
                 return;
             }
-            if let Some(next) = basis_format::escalate(&format.name()) {
-                format = basis_format::by_name(&next).expect("escalation targets are registered");
-                *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
-                stats.escalations += 1;
-                stats.format = basis.format_name();
+            if !opts.de_escalate {
+                return;
             }
-            // Already at the top: nothing stronger to switch to; keep
-            // iterating toward max_iters honestly.
+            if qualifies_for_de_escalation(
+                opts,
+                prev,
+                boundary.explicit_rrn,
+                boundary.last_implicit_rrn,
+            ) {
+                qualifying_streak += 1;
+                if qualifying_streak >= opts.de_escalation_cycles {
+                    qualifying_streak = 0;
+                    if let Some(down) = basis_format::de_escalate(&format.name()) {
+                        format = basis_format::by_name(&down).expect("ladder rungs are registered");
+                        *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                        stats.de_escalations += 1;
+                        stats.format = basis.format_name();
+                    }
+                    // At the bottom rung: nothing cheaper to reclaim.
+                }
+            } else {
+                qualifying_streak = 0;
+            }
         },
     )
 }
@@ -293,6 +376,156 @@ mod tests {
         assert!(r.stats.converged);
         assert!(r.x.iter().all(|&v| v == 0.0));
         assert!(r.stats.format_trajectory.is_empty());
+    }
+
+    #[test]
+    fn qualifying_rule_needs_drop_and_two_sided_agreement() {
+        let opts = AdaptiveOptions {
+            de_escalate: true,
+            ..AdaptiveOptions::default()
+        };
+        // 100× drop, implicit within the gap: qualifies.
+        assert!(qualifies_for_de_escalation(&opts, 1e-2, 1e-4, Some(2e-4)));
+        // Drop below the hysteresis factor: no.
+        assert!(!qualifies_for_de_escalation(&opts, 1e-2, 2e-3, Some(2e-3)));
+        // Implicit far below explicit (stagnation signature): no.
+        assert!(!qualifies_for_de_escalation(&opts, 1e-2, 1e-4, Some(1e-7)));
+        // Implicit far above explicit: no.
+        assert!(!qualifies_for_de_escalation(&opts, 1e-2, 1e-4, Some(1e-1)));
+        // No implicit point at all: no.
+        assert!(!qualifies_for_de_escalation(&opts, 1e-2, 1e-4, None));
+    }
+
+    /// A solve forced to start at `float64` on a smooth operator drops
+    /// by orders of magnitude every cycle: with de-escalation enabled
+    /// it must step back down the ladder and still converge.
+    #[test]
+    fn de_escalation_reclaims_bandwidth_after_float64_start() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let mut opts = adaptive_opts(1e-10, 2000, 10);
+        opts.start_format = Some("float64".into());
+        opts.de_escalate = true;
+        let r = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(r.stats.converged, "rrn {:.2e}", r.stats.final_rrn);
+        assert!(
+            r.stats.de_escalations >= 1,
+            "no de-escalation in {:?}",
+            r.stats.format_trajectory
+        );
+        assert_eq!(r.stats.format_trajectory[0], "float64");
+        // Rung changes are one step per boundary, both directions, and
+        // the counters match the trajectory.
+        let ladder = crate::basis_format::ESCALATION_LADDER;
+        let rungs: Vec<usize> = r
+            .stats
+            .format_trajectory
+            .iter()
+            .map(|f| ladder.iter().position(|l| l == f).expect("on-ladder"))
+            .collect();
+        for pair in rungs.windows(2) {
+            assert!(
+                pair[0].abs_diff(pair[1]) <= 1,
+                "at most one rung per boundary: {:?}",
+                r.stats.format_trajectory
+            );
+        }
+        assert_eq!(
+            r.stats.de_escalations,
+            rungs.windows(2).filter(|p| p[1] < p[0]).count()
+        );
+        assert_eq!(
+            r.stats.escalations,
+            rungs.windows(2).filter(|p| p[1] > p[0]).count()
+        );
+        assert_eq!(&r.stats.format, r.stats.format_trajectory.last().unwrap());
+    }
+
+    /// The acceptance scenario for PR 6: on the wide-range operator the
+    /// bidirectional driver escalates out of stagnation *and* steps
+    /// back down once the residual is dropping — both directions in one
+    /// trajectory, still converging to the deep target.
+    #[test]
+    fn bidirectional_trajectory_on_wide_range() {
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let mut opts = adaptive_opts(1e-10, 1200, 30);
+        opts.de_escalate = true;
+        // The 8³ system converges within six cycles; a single qualifying
+        // cycle must trigger the step-down for both directions to appear
+        // in so short a trajectory (the two-cycle default needs the
+        // longer 12³ solve exercised by the bench harness).
+        opts.de_escalation_cycles = 1;
+        let r = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(
+            r.stats.converged,
+            "stalled at rrn {:.2e} (trajectory {:?})",
+            r.stats.final_rrn, r.stats.format_trajectory
+        );
+        assert!(r.stats.escalations >= 1, "{:?}", r.stats.format_trajectory);
+        assert!(
+            r.stats.de_escalations >= 1,
+            "no de-escalation in {:?}",
+            r.stats.format_trajectory
+        );
+    }
+
+    /// De-escalation is opt-in: with the flag off the escalation-only
+    /// schedule of PR 4 reproduces bit for bit, de_escalations stays 0.
+    #[test]
+    fn de_escalation_is_off_by_default() {
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+        let r = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert_eq!(r.stats.de_escalations, 0);
+        let ladder = crate::basis_format::ESCALATION_LADDER;
+        let rungs: Vec<usize> = r
+            .stats
+            .format_trajectory
+            .iter()
+            .map(|f| ladder.iter().position(|l| l == f).unwrap())
+            .collect();
+        assert!(rungs.windows(2).all(|p| p[1] >= p[0]), "up-only");
+    }
+
+    /// `frsz2_ab` converges on the mixed-regime runs operator where
+    /// *both* fixed `frsz2_16` and fixed `frsz2_21` stagnate — the
+    /// per-block selector widens exactly the plateau-straddling blocks
+    /// whose spread would otherwise flush — at a lower average rate
+    /// than whole-basis `frsz2_21` (22 bits/value). On the fully
+    /// uncorrelated operator this is impossible: every block spans
+    /// ~`range` binades, so honest per-block selection picks wide codes
+    /// everywhere and the average rate exceeds 22.
+    #[test]
+    fn per_block_store_converges_on_wide_range_below_frsz2_21_rate() {
+        let a = gen::wide_range_conv_diff_runs(8, 8, 8, 24, 16, 0x5202);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+
+        let fixed = crate::basis_format::by_name("frsz2_16").unwrap();
+        let s = crate::basis_format::gmres_dyn(&a, &b, &x0, &opts.gmres, &Identity, fixed.as_ref());
+        assert!(
+            !s.stats.converged,
+            "fixed frsz2_16 unexpectedly converged (rrn {:.2e})",
+            s.stats.final_rrn
+        );
+
+        let fmt = crate::basis_format::by_name("frsz2_ab").unwrap();
+        let r = crate::basis_format::gmres_dyn(&a, &b, &x0, &opts.gmres, &Identity, fmt.as_ref());
+        assert!(
+            r.stats.converged,
+            "frsz2_ab stalled at rrn {:.2e}",
+            r.stats.final_rrn
+        );
+        assert!(
+            r.stats.basis_bits_per_value < 22.0,
+            "average rate {} not below frsz2_21's 22 bits/value",
+            r.stats.basis_bits_per_value
+        );
+        assert_eq!(r.stats.format, "frsz2_ab");
     }
 
     #[test]

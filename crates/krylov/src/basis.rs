@@ -255,6 +255,59 @@ mod tests {
         }
     }
 
+    /// Same reproducibility pin for the per-block adaptive store: the
+    /// wide-spread data makes neighbouring blocks pick different bit
+    /// lengths, and the chunk-dealt kernels must still be bit-identical
+    /// at any thread count.
+    #[test]
+    fn adaptive_store_dots_and_axpys_bit_identical_across_thread_counts() {
+        let n = 40_000;
+        let k = 4;
+        let mut basis = Basis::<frsz2::Frsz2AdaptiveStore>::new(n, k);
+        for j in 0..k {
+            basis.write(
+                j,
+                &vec_of(n, |i| {
+                    let x = ((i + 31 * j) as f64 * 0.13).sin() + 1.1;
+                    x * f64::powi(2.0, -(((i * 7 + j) % 25) as i32))
+                }),
+            );
+        }
+        let ls = basis.store().column_bit_lengths(0);
+        assert!(ls.iter().any(|&l| l as u32 != ls[0] as u32), "lengths vary");
+        let w = vec_of(n, |i| ((i as f64) * 0.041).cos());
+        let mut h_ref = vec![0.0; k];
+        basis.dots(k, &w, &mut h_ref);
+        let mut u_ref = w.clone();
+        basis.axpys(k, &[0.5, -1.25, 2.0, -0.125], &mut u_ref);
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut h = vec![0.0; k];
+            let mut u = w.clone();
+            pool.install(|| {
+                basis.dots(k, &w, &mut h);
+                basis.axpys(k, &[0.5, -1.25, 2.0, -0.125], &mut u);
+            });
+            for j in 0..k {
+                assert_eq!(
+                    h[j].to_bits(),
+                    h_ref[j].to_bits(),
+                    "dot {j} at {threads} threads"
+                );
+            }
+            for i in 0..n {
+                assert_eq!(
+                    u[i].to_bits(),
+                    u_ref[i].to_bits(),
+                    "row {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
     #[test]
     fn combine_is_weighted_sum() {
         let n = 100;

@@ -19,6 +19,7 @@
 //! | `float16`                   | `DenseStore<F16>`                     | 2⁻¹¹                |
 //! | `bfloat16`                  | `DenseStore<BF16>`                    | 2⁻⁸                 |
 //! | `frsz2_<l>` (2 ≤ l ≤ 64)    | `Frsz2Store`, BS = 32                 | 2⁻⁽ˡ⁻²⁾             |
+//! | `frsz2_ab`                  | `Frsz2AdaptiveStore` (per-block `l`)  | 2⁻¹⁴ (measured)     |
 //! | any Table II codec name     | `lossy::RoundTripStore`               | `lossy::registry::accuracy_floor` |
 //!
 //! The **accuracy floor** is the worst-case absolute error storage may
@@ -28,7 +29,7 @@
 //! climbs when the explicit residual stops improving.
 
 use crate::precond::Preconditioner;
-use frsz2::{Frsz2Config, Frsz2Store};
+use frsz2::{Frsz2AdaptiveStore, Frsz2Config, Frsz2Store};
 use lossy::RoundTripStore;
 use numfmt::{ColumnStorage, DenseStore, BF16, F16};
 use spla::SparseMatrix;
@@ -62,6 +63,7 @@ enum Backend {
     F16,
     BF16,
     Frsz2(Frsz2Config),
+    Frsz2Adaptive,
     Codec { name: String, floor: f64 },
 }
 
@@ -78,6 +80,7 @@ impl BasisFormat for RegisteredFormat {
             Backend::F16 => "float16".into(),
             Backend::BF16 => "bfloat16".into(),
             Backend::Frsz2(cfg) => cfg.name(),
+            Backend::Frsz2Adaptive => "frsz2_ab".into(),
             Backend::Codec { name, .. } => name.clone(),
         }
     }
@@ -90,6 +93,10 @@ impl BasisFormat for RegisteredFormat {
             Backend::BF16 => f64::powi(2.0, -8),
             // Worst case of Eq. 2 at block max 1: 2^-(l-2).
             Backend::Frsz2(cfg) => cfg.worst_case_abs_error(1.0),
+            // Worst case when the per-block selector picks its
+            // cheapest length (`l = 16`, zero-spread block at unit
+            // scale) — measured by `frsz2_ab_floor_is_measured_tight`.
+            Backend::Frsz2Adaptive => f64::powi(2.0, -14),
             Backend::Codec { floor, .. } => *floor,
         }
     }
@@ -100,6 +107,10 @@ impl BasisFormat for RegisteredFormat {
             Backend::F32 => 32.0,
             Backend::F16 | Backend::BF16 => 16.0,
             Backend::Frsz2(cfg) => cfg.bits_per_value(rows.max(1)),
+            // Nominal best case (all blocks at l = 16 plus the 40-bit
+            // per-block metadata); the achieved rate is data-dependent
+            // and reported by the live store's `bits_per_value`.
+            Backend::Frsz2Adaptive => 16.0 + 40.0 / 32.0,
             // Nominal: codecs only know their rate after compressing.
             Backend::Codec { .. } => 64.0,
         }
@@ -112,6 +123,7 @@ impl BasisFormat for RegisteredFormat {
             Backend::F16 => Box::new(DenseStore::<F16>::with_shape(rows, cols)),
             Backend::BF16 => Box::new(DenseStore::<BF16>::with_shape(rows, cols)),
             Backend::Frsz2(cfg) => Box::new(Frsz2Store::with_config(*cfg, rows, cols)),
+            Backend::Frsz2Adaptive => Box::new(Frsz2AdaptiveStore::with_shape(rows, cols)),
             Backend::Codec { name, .. } => {
                 let codec = lossy::registry::by_name(name)
                     .unwrap_or_else(|| panic!("codec {name} vanished from the registry"));
@@ -128,14 +140,16 @@ pub const ESCALATION_LADDER: [&str; 4] = ["frsz2_16", "frsz2_21", "frsz2_32", "f
 
 /// Resolve a format by its paper name. Accepts `float64`/`f64`,
 /// `float32`/`f32`, `float16`/`f16`, `bfloat16`/`bf16`, any
-/// `frsz2_<l>` with `2 ≤ l ≤ 64` (block size 32), and every
-/// `lossy::registry` codec name. Returns `None` for unknown names.
+/// `frsz2_<l>` with `2 ≤ l ≤ 64` (block size 32), `frsz2_ab` (the
+/// per-block adaptive-length store), and every `lossy::registry`
+/// codec name. Returns `None` for unknown names.
 pub fn by_name(name: &str) -> Option<Box<dyn BasisFormat>> {
     let backend = match name {
         "float64" | "f64" => Backend::F64,
         "float32" | "f32" => Backend::F32,
         "float16" | "f16" => Backend::F16,
         "bfloat16" | "bf16" => Backend::BF16,
+        "frsz2_ab" => Backend::Frsz2Adaptive,
         _ => {
             if let Some(bits) = name.strip_prefix("frsz2_") {
                 let bits: u32 = bits.parse().ok()?;
@@ -158,11 +172,11 @@ pub fn by_name(name: &str) -> Option<Box<dyn BasisFormat>> {
 }
 
 /// All registered format names: the escalation ladder, the value-level
-/// casts, and every Table II codec.
+/// casts, the per-block adaptive store, and every Table II codec.
 pub fn names() -> Vec<String> {
     let mut v: Vec<String> = ESCALATION_LADDER.iter().map(|s| s.to_string()).collect();
     v.extend(
-        ["float32", "float16", "bfloat16"]
+        ["float32", "float16", "bfloat16", "frsz2_ab"]
             .iter()
             .map(|s| s.to_string()),
     );
@@ -203,14 +217,22 @@ pub fn auto_basis(target_rrn: f64, n: usize, m: usize) -> Box<dyn BasisFormat> {
 }
 
 /// The next-stronger format after `name` on the escalation ladder, or
-/// `None` when `name` is already at (or beyond) `float64` accuracy.
-/// Formats outside the ladder (casts, codecs) join it at the first
-/// rung with a strictly smaller accuracy floor than their own.
+/// `None` when `name` is `float64` (nothing stronger exists). Aliases
+/// (`f64`, `frsz2_ab`, ...) are canonicalized before the ladder
+/// lookup. Formats outside the ladder (casts, codecs, wide `frsz2_<l>`)
+/// join it monotonically: at the first rung with a *strictly smaller*
+/// accuracy floor than their own, falling back to `float64` when no
+/// rung qualifies — `float64` stores `f64` data exactly, so it is the
+/// one destination stronger than any lossy format in every regime
+/// (a nominal `frsz2_60` floor still flushes wide-spread blocks;
+/// exact storage never does).
 pub fn escalate(name: &str) -> Option<String> {
-    if let Some(pos) = ESCALATION_LADDER.iter().position(|&f| f == name) {
+    let fmt = by_name(name)?;
+    let canon = fmt.name();
+    if let Some(pos) = ESCALATION_LADDER.iter().position(|&f| f == canon) {
         return ESCALATION_LADDER.get(pos + 1).map(|s| s.to_string());
     }
-    let current = by_name(name)?.accuracy_floor();
+    let current = fmt.accuracy_floor();
     ESCALATION_LADDER
         .iter()
         .find(|&&f| {
@@ -219,6 +241,18 @@ pub fn escalate(name: &str) -> Option<String> {
                 .unwrap_or(false)
         })
         .map(|s| s.to_string())
+        .or_else(|| Some("float64".to_string()))
+}
+
+/// The next-*cheaper* ladder format below `name`, or `None` at the
+/// bottom rung. De-escalation only retraces the ladder: a solve that
+/// escalated through `frsz2_16 → ... → float64` steps back down the
+/// same rungs, so off-ladder formats (which nothing escalates *to*)
+/// report `None`. Aliases are canonicalized like [`escalate`].
+pub fn de_escalate(name: &str) -> Option<String> {
+    let canon = by_name(name)?.name();
+    let pos = ESCALATION_LADDER.iter().position(|&f| f == canon)?;
+    pos.checked_sub(1).map(|p| ESCALATION_LADDER[p].to_string())
 }
 
 /// Solve with a runtime-selected basis format: the boxed-storage
@@ -300,7 +334,85 @@ mod tests {
         assert_eq!(escalate("zfp_fr_16").as_deref(), Some("frsz2_16"));
         // sz3_08's 1e-8 floor is weaker than frsz2_32's 2^-30.
         assert_eq!(escalate("sz3_08").as_deref(), Some("frsz2_32"));
+        // The per-block store's measured 2^-14 floor joins below it.
+        assert_eq!(escalate("frsz2_ab").as_deref(), Some("frsz2_21"));
+        // Aliases canonicalize before the ladder lookup.
+        assert_eq!(escalate("f64"), None);
+        // Off-ladder formats at or beyond float64's nominal floor used
+        // to be stuck (`None` while not actually exact); they now
+        // finish on exact storage.
+        assert_eq!(escalate("frsz2_54").as_deref(), Some("float64"));
+        assert_eq!(escalate("frsz2_64").as_deref(), Some("float64"));
         assert_eq!(escalate("not_a_format"), None);
+    }
+
+    /// Property over every registered name (plus aliases and the whole
+    /// `frsz2_<l>` family): each escalation step either strictly
+    /// shrinks the accuracy floor or lands on exact `float64` storage,
+    /// and every chain terminates there within one ladder length.
+    #[test]
+    fn escalate_is_monotone_and_total_for_every_name() {
+        let mut all = names();
+        all.extend(["f64", "f32", "f16", "bf16"].map(String::from));
+        all.extend((2..=64).map(|l| format!("frsz2_{l}")));
+        for name in all {
+            let mut cur = by_name(&name).unwrap().name();
+            let mut steps = 0;
+            while let Some(next) = escalate(&cur) {
+                let floor_cur = by_name(&cur).unwrap().accuracy_floor();
+                let floor_next = by_name(&next).unwrap().accuracy_floor();
+                assert!(
+                    floor_next < floor_cur || next == "float64",
+                    "{name}: step {cur} → {next} weakened the floor"
+                );
+                cur = next;
+                steps += 1;
+                assert!(steps <= ESCALATION_LADDER.len(), "{name}: no termination");
+            }
+            assert_eq!(cur, "float64", "{name}: chain must end at exact storage");
+        }
+    }
+
+    #[test]
+    fn de_escalate_retraces_the_ladder_only() {
+        assert_eq!(de_escalate("float64").as_deref(), Some("frsz2_32"));
+        assert_eq!(de_escalate("frsz2_32").as_deref(), Some("frsz2_21"));
+        assert_eq!(de_escalate("frsz2_21").as_deref(), Some("frsz2_16"));
+        assert_eq!(de_escalate("frsz2_16"), None);
+        assert_eq!(de_escalate("f64").as_deref(), Some("frsz2_32"), "alias");
+        // Off-ladder formats never step down (nothing escalates to them).
+        assert_eq!(de_escalate("float32"), None);
+        assert_eq!(de_escalate("frsz2_ab"), None);
+        assert_eq!(de_escalate("sz3_08"), None);
+        assert_eq!(de_escalate("not_a_format"), None);
+    }
+
+    /// The registered `frsz2_ab` floor is *measured*, not nominal: on a
+    /// unit-scale zero-spread column (selector picks `l = 16`) the
+    /// worst observed error must sit within a factor 2 of 2⁻¹⁴ — large
+    /// enough to be honest, small enough that the rung is tight.
+    #[test]
+    fn frsz2_ab_floor_is_measured_tight() {
+        let fmt = by_name("frsz2_ab").unwrap();
+        let floor = fmt.accuracy_floor();
+        let n = 4096;
+        let v: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.49 * ((i as f64) * 0.37).sin())
+            .collect();
+        let mut store = fmt.create(n, 1);
+        store.write_column(0, &v);
+        let mut out = vec![0.0; n];
+        store.read_column(0, &mut out);
+        let worst = v
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= floor, "measured {worst:e} above floor {floor:e}");
+        assert!(
+            worst > floor / 2.0,
+            "floor {floor:e} loose: worst {worst:e}"
+        );
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub struct SolveStats {
     /// Number of basis-format escalations performed (adaptive solves;
     /// always 0 for fixed-format solves).
     pub escalations: usize,
+    /// Number of basis-format de-escalations (adaptive solves with
+    /// [`crate::AdaptiveOptions::de_escalate`] enabled; 0 otherwise).
+    pub de_escalations: usize,
 }
 
 /// Result of [`gmres`].

@@ -237,6 +237,46 @@ pub fn wide_range_conv_diff(nx: usize, ny: usize, nz: usize, range: u32, seed: u
     a
 }
 
+/// Partially-correlated exponent field: [`phi_uncorrelated`] draws
+/// replicated over runs of `run` consecutive entries. With `run` below
+/// the FRSZ2 block size a block straddles two or three scale plateaus,
+/// so its exponent spread is the *difference of a few draws* rather
+/// than the full `range` — the mixed regime between PR02R (every entry
+/// independent) and HV15R (smooth fields): wide enough that one fixed
+/// `l` cannot serve every block, narrow enough that per-block bit
+/// lengths stay far below `range + 2` on most blocks.
+pub fn phi_correlated_runs(n: usize, range: u32, run: usize, seed: u64) -> Vec<i32> {
+    assert!(run > 0, "run length must be positive");
+    let draws = phi_uncorrelated(n.div_ceil(run), range, seed);
+    (0..n).map(|i| draws[i / run]).collect()
+}
+
+/// The mixed-regime stagnation operator: the [`conv_diff_3d`] stencil
+/// (velocity `[0.3, 0.2, 0.1]`, reaction 0.2) similarity-scaled by
+/// [`phi_correlated_runs`].
+///
+/// At `range = 24`, `run = 16` both fixed `frsz2_16` *and* fixed
+/// `frsz2_21` stagnate above a `1e-10` target, while a per-block
+/// adaptive store converges at a lower average rate than whole-basis
+/// `frsz2_21` (22 bits/value): most blocks sit inside one or two scale
+/// plateaus and take short codes, and only the plateau-straddling
+/// minority pays for wide ones. As with [`wide_range_conv_diff`], one
+/// definition shared by solver tests and the bench harness keeps the
+/// calibration in exactly one place.
+pub fn wide_range_conv_diff_runs(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    range: u32,
+    run: usize,
+    seed: u64,
+) -> Csr {
+    let mut a = conv_diff_3d(nx, ny, nz, [0.3, 0.2, 0.1], 0.2);
+    let phi = phi_correlated_runs(a.rows(), range, run, seed);
+    apply_similarity_scaling(&mut a, &phi);
+    a
+}
+
 /// Exponent field depending only on the slowest (z) grid index: memory-
 /// consecutive entries (x runs fastest) share their magnitude — the
 /// HV15R regime where "the ordering of non-zero values may lead
