@@ -1,17 +1,18 @@
-//! Machine-readable perf harness: times the three paper-critical paths
-//! (SpMV in every sparse format, FRSZ2 codec round-trip, CB-GMRES
-//! solves on CSR and on the auto-selected format, plus the adaptive-
-//! precision stagnation pair `cb_gmres_frsz2_16_fixed` /
-//! `cb_gmres_adaptive` on a similarity-scaled operator) at explicit
-//! thread counts and emits schema-stable `BENCH_<name>.json` files
-//! plus a combined `results/bench_json.csv`.
+//! Machine-readable perf harness: times the paper-critical paths (SpMV
+//! in every sparse format, FRSZ2 codec round-trip, CB-GMRES solves on
+//! CSR and on the auto-selected format, plus the adaptive-precision
+//! stagnation pair `cb_gmres_frsz2_16_fixed` / `cb_gmres_adaptive` on
+//! a similarity-scaled operator) at explicit thread counts and emits
+//! schema-stable `BENCH_<name>.json` files plus a combined
+//! `results/bench_json.csv`. The schema — field-by-field, with the
+//! v1→v5 changelog — is documented in `docs/bench-schema.md`.
 //!
-//! Schema v4 extends the solve suite with `cb_gmres_adaptive_bidir`
-//! (ladder escalation *and* de-escalation in one trajectory, both
-//! asserted in-harness) and the runs-operator pair
-//! `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` (fixed `frsz2_16`
-//! stagnates; the per-block adaptive store converges below the
-//! whole-basis `frsz2_21` rate).
+//! Schema v5 adds the `service` suite: eight mixed-format jobs over
+//! two operators cached by a long-lived `SolverService`, run
+//! sequentially and concurrently. The per-job fingerprints must match
+//! a 1-thread sequential reference byte for byte, and an
+//! admission-control probe must see its over-budget job rejected with
+//! a typed error.
 //!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
@@ -912,6 +913,276 @@ fn bench_solve(args: &Args) -> (Json, Vec<CaseResult>) {
     )
 }
 
+/// Concurrent `SolverService` throughput (schema v5): eight
+/// mixed-format jobs over two cached operators, run once sequentially
+/// (jobs one at a time) and once concurrently (`run_batch`, one OS
+/// thread per job), each job under a private pool of `threads` workers.
+/// The two cases must produce identical per-job fingerprints — the
+/// service's headline guarantee, checked three ways:
+///
+/// * in-harness, every job's fingerprint is compared against a
+///   1-thread sequential reference run,
+/// * [`enforce_cross_format`] pins `service_concurrent` to
+///   `service_sequential` at every thread count,
+/// * [`enforce_determinism`] pins both cases across thread counts.
+///
+/// The suite also demonstrates admission control: a budget sized below
+/// the float64 job's reservation must reject that job with the typed
+/// `BudgetExceeded` error (recorded in `config`), never a panic.
+fn bench_service(args: &Args) -> (Json, Vec<CaseResult>) {
+    use solver_service::{
+        estimated_basis_bytes, AdmissionPolicy, BasisSelection, JobSpec, PrecondSpec,
+        ServiceConfig, ServiceError, SolverService,
+    };
+
+    let s = if args.quick { 10 } else { 14 };
+    let smooth = gen::conv_diff_3d(s, s, s, [0.3, 0.2, 0.1], 0.3);
+    let s2 = if args.quick { 6 } else { 8 };
+    let wide = gen::wide_range_conv_diff(s2, s2, s2, 24, 0x5202);
+    let (_, b_smooth) = spla::dense::manufactured_rhs(&smooth);
+    let (_, b_wide) = spla::dense::manufactured_rhs(&wide);
+
+    let service = SolverService::with_defaults();
+    let smooth_info = service
+        .register_csr("smooth", &smooth, PrecondSpec::Jacobi)
+        .expect("register smooth");
+    let wide_info = service
+        .register_csr("wide", &wide, PrecondSpec::None)
+        .expect("register wide");
+
+    // Eight mixed-format jobs over the two cached operators: every
+    // fixed ladder rung, the per-block adaptive store, the auto pick,
+    // and the escalating adaptive driver. Targets sit at or above each
+    // format's accuracy floor so every job converges.
+    let job = |op: &str, b: &[f64], basis: BasisSelection, target: f64| {
+        let mut spec = JobSpec::new(op, b.to_vec());
+        spec.basis = basis;
+        spec.opts.target_rrn = target;
+        spec.opts.record_history = true;
+        if op == "wide" {
+            spec.opts.restart = 30;
+            spec.opts.max_iters = 1200;
+        }
+        spec
+    };
+    let fixed = |name: &str| BasisSelection::Fixed(name.into());
+    let specs: Vec<JobSpec> = vec![
+        job("smooth", &b_smooth, fixed("frsz2_16"), 1e-2),
+        job("smooth", &b_smooth, fixed("frsz2_21"), 1e-3),
+        job("smooth", &b_smooth, fixed("frsz2_32"), 1e-6),
+        job("smooth", &b_smooth, fixed("float64"), 1e-10),
+        job("smooth", &b_smooth, fixed("frsz2_ab"), 1e-6),
+        job("smooth", &b_smooth, BasisSelection::Auto, 1e-3),
+        job("wide", &b_wide, fixed("float64"), 1e-10),
+        job("wide", &b_wide, BasisSelection::Adaptive, 1e-10),
+    ];
+
+    let job_fingerprint = |r: &SolveResult| -> String {
+        let mut h = Fnv::new();
+        h.push(r.stats.iterations as u64);
+        for point in &r.history {
+            h.push(point.rrn.to_bits());
+        }
+        for f in &r.stats.format_trajectory {
+            for byte in f.as_bytes() {
+                h.push(u64::from(*byte));
+            }
+        }
+        for v in &r.x {
+            h.push(v.to_bits());
+        }
+        h.hex()
+    };
+
+    // The acceptance reference: every job run sequentially on ONE
+    // thread. Concurrent runs at any thread count must reproduce these
+    // fingerprints byte for byte.
+    let reference: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let r = service.solve(spec).expect("reference solve");
+            assert!(
+                r.stats.converged,
+                "service job on {:?} failed to converge (rrn {:.2e})",
+                spec.operator, r.stats.final_rrn
+            );
+            job_fingerprint(&r)
+        })
+        .collect();
+
+    let mut cases = Vec::new();
+    let mut telemetry_cycles = 0u64;
+    for &threads in &args.threads {
+        let mut specs_t = specs.clone();
+        for spec in &mut specs_t {
+            spec.threads = threads;
+        }
+
+        // Sequential: jobs one at a time, each under its own pool.
+        let mut fps: Vec<String> = Vec::new();
+        let samples: Vec<f64> = {
+            let run = |fps: &mut Vec<String>| {
+                fps.clear();
+                for spec in &specs_t {
+                    fps.push(job_fingerprint(&service.solve(spec).expect("solve")));
+                }
+            };
+            run(&mut fps); // warmup
+            (0..args.runs)
+                .map(|_| {
+                    let t = Instant::now();
+                    run(&mut fps);
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .collect()
+        };
+        assert_eq!(
+            fps, reference,
+            "sequential jobs diverged from the 1-thread reference"
+        );
+        push_service_case(
+            &mut cases,
+            "service_sequential",
+            threads,
+            args,
+            &samples,
+            &fps,
+        );
+
+        // Concurrent: the whole batch at once, one OS thread per job,
+        // with per-cycle telemetry streamed through a channel.
+        let mut fps: Vec<String> = Vec::new();
+        let mut cycles = 0u64;
+        let samples: Vec<f64> = {
+            let mut run = |fps: &mut Vec<String>| {
+                fps.clear();
+                let (tx, rx) = std::sync::mpsc::channel();
+                let results = service.run_batch_streaming(&specs_t, tx);
+                cycles = rx.try_iter().count() as u64;
+                for r in results {
+                    fps.push(job_fingerprint(&r.expect("batch solve")));
+                }
+            };
+            run(&mut fps); // warmup
+            (0..args.runs)
+                .map(|_| {
+                    let t = Instant::now();
+                    run(&mut fps);
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .collect()
+        };
+        assert_eq!(
+            fps, reference,
+            "concurrent batch diverged from the sequential 1-thread reference"
+        );
+        telemetry_cycles = cycles;
+        push_service_case(
+            &mut cases,
+            "service_concurrent",
+            threads,
+            args,
+            &samples,
+            &fps,
+        );
+    }
+    enforce_cross_format(
+        "service",
+        &["service_sequential", "service_concurrent"],
+        &cases,
+    );
+
+    // Admission control demo: a budget below the smooth float64 job's
+    // reservation rejects that job with a typed error — and leaves the
+    // ledger clean for a job that fits.
+    let opts = krylov::GmresOptions::default();
+    let f64_cost = estimated_basis_bytes(
+        krylov::basis_format::by_name("float64")
+            .expect("float64")
+            .as_ref(),
+        smooth.rows(),
+        opts.restart,
+    );
+    let budgeted = SolverService::new(ServiceConfig {
+        basis_budget_bytes: Some(f64_cost - 1),
+        admission: AdmissionPolicy::Reject,
+    });
+    budgeted
+        .register_csr("smooth", &smooth, PrecondSpec::Jacobi)
+        .expect("register under budget");
+    let rejected = match budgeted.solve(&job("smooth", &b_smooth, fixed("float64"), 1e-10)) {
+        Err(ServiceError::BudgetExceeded { requested, .. }) => requested,
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    };
+    let admitted = budgeted
+        .solve(&job("smooth", &b_smooth, fixed("frsz2_21"), 1e-3))
+        .expect("compressed job fits the budget");
+    assert!(admitted.stats.converged);
+
+    let config = vec![
+        ("jobs", Json::Num(specs.len() as f64)),
+        ("operators", Json::Num(2.0)),
+        (
+            "smooth_matrix",
+            Json::Str(format!(
+                "conv_diff_3d {s}^3 ({} rows, {}, jacobi)",
+                smooth_info.rows, smooth_info.sparse_format
+            )),
+        ),
+        (
+            "wide_matrix",
+            Json::Str(format!(
+                "conv_diff_3d {s2}^3 similarity-scaled, 24 binades ({} rows, {})",
+                wide_info.rows, wide_info.sparse_format
+            )),
+        ),
+        ("telemetry_cycles", Json::Num(telemetry_cycles as f64)),
+        ("admission_budget_bytes", Json::Num((f64_cost - 1) as f64)),
+        ("admission_rejected_requested", Json::Num(rejected as f64)),
+    ];
+    (
+        emit_doc("service", args.quick, config, &cases, "service_concurrent"),
+        cases,
+    )
+}
+
+/// Append one service-suite case row: the fingerprint chains the
+/// per-job fingerprints in submission order, and `jobs_per_second` is
+/// the batch throughput at the min time.
+fn push_service_case(
+    cases: &mut Vec<CaseResult>,
+    name: &str,
+    threads: usize,
+    args: &Args,
+    samples: &[f64],
+    job_fps: &[String],
+) {
+    let (min_ms, median_ms, mean_ms) = min_median_mean(samples);
+    let mut h = Fnv::new();
+    for fp in job_fps {
+        for byte in fp.as_bytes() {
+            h.push(u64::from(*byte));
+        }
+    }
+    cases.push(CaseResult {
+        name: name.into(),
+        threads,
+        runs: args.runs,
+        min_ms,
+        median_ms,
+        mean_ms,
+        metrics: vec![
+            ("jobs".into(), job_fps.len() as f64),
+            (
+                "jobs_per_second".into(),
+                job_fps.len() as f64 / (min_ms * 1e-3),
+            ),
+        ],
+        fingerprint: h.hex(),
+        format_trajectory: None,
+    });
+}
+
 fn validate_files(files: &[String]) {
     let mut failed = false;
     for path in files {
@@ -1035,6 +1306,7 @@ fn main() {
         ("spmv", bench_spmv as fn(&Args) -> (Json, Vec<CaseResult>)),
         ("codec", bench_codec),
         ("solve", bench_solve),
+        ("service", bench_service),
     ] {
         let (doc, cases) = build(&args);
         enforce_determinism(bench, &cases);

@@ -8,11 +8,15 @@
 //! the same key sequence, making the files diffable across PRs — they
 //! are the perf trajectory CI artifacts are judged against.
 //!
-//! # `BENCH_*.json` schema (version 4)
+//! The full schema — every root and per-case key, the case inventory
+//! of all four suites (`spmv`, `codec`, `solve`, `service`), and the
+//! v1→v5 changelog — lives in **`docs/bench-schema.md`** at the
+//! repository root. That document is the single source of truth;
+//! validator error messages cite it. The short version:
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "bench": "spmv",                  // suite name
 //!   "quick": false,                   // quick (CI smoke) sizes?
 //!   "threads_available": 8,           // host parallelism at run time
@@ -38,85 +42,6 @@
 //! `cases[*].fingerprint` hashes the bit pattern of the case's numeric
 //! output; the harness fails if it differs across thread counts, so CI
 //! enforces the determinism contract, not just the schema.
-//!
-//! ## Schema v2 (adaptive-precision solve cases)
-//!
-//! Version 2 adds one optional per-case key: `format_trajectory`, an
-//! array of non-empty strings recording the basis storage format of
-//! each executed restart cycle (`SolveStats::format_trajectory`).
-//! Adaptive solve cases emit it; fixed-format cases omit it. The
-//! trajectory participates in the case fingerprint, so an escalation-
-//! schedule divergence across thread counts fails the run just like a
-//! residual divergence.
-//!
-//! ## Schema v3 (per-`l` codec cases and kernel microbenches)
-//!
-//! Version 3 changes no keys — it extends the codec-suite case
-//! inventory alongside the word-granular fused kernels:
-//!
-//! * `codec_roundtrip_l16` joins the existing `l21`/`l32` cases, so
-//!   all three paper bit lengths are in the trajectory, and every
-//!   codec case gains a `gbps_compressed` metric — *compressed* bytes
-//!   moved per round trip (`2 × storage_bytes`, one pack write + one
-//!   decode read) over the min time — next to the existing
-//!   `gbps_uncompressed`. The compressed rate is the honest number
-//!   for the paper's claim that orthogonalization becomes
-//!   bandwidth-bound on the compressed bytes.
-//! * `basis_dots` / `basis_gemv` time the fused multi-column
-//!   orthogonalization kernels (`Basis::dots_with` / `Basis::axpys`)
-//!   over a `frsz2_21` basis; `basis_dots_ref` / `basis_gemv_ref` run
-//!   the same computation as decompress-then-naive-BLAS per column.
-//!   Each fused/ref pair MUST fingerprint-equal at every thread count
-//!   (fusion changes speed, never bits) — the harness exits non-zero
-//!   on any fused-vs-reference divergence, same machinery as the
-//!   sparse cross-format groups.
-//!
-//! ## Schema v4 (per-block adaptive store and bidirectional driver)
-//!
-//! Version 4 changes no keys — it extends the solve-suite case
-//! inventory alongside the per-block adaptive store (`frsz2_ab`) and
-//! the bidirectional adaptive driver:
-//!
-//! * `cb_gmres_adaptive_bidir` runs the adaptive driver with ladder
-//!   de-escalation enabled (single-cycle hysteresis, drop factor 10)
-//!   on the same similarity-scaled stagnation operator as
-//!   `cb_gmres_adaptive`. The harness asserts the solve converges with
-//!   `metrics.escalations ≥ 1` **and** `metrics.de_escalations ≥ 1`,
-//!   so the committed `format_trajectory` always shows both
-//!   directions; the trajectory participates in the fingerprint, so a
-//!   hysteresis divergence across thread counts fails the run.
-//! * `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` run on the
-//!   mixed-regime runs-correlated operator
-//!   (`wide_range_conv_diff_runs`: scale plateaus of 16 consecutive
-//!   entries over 24 binades). Fixed `frsz2_16` stagnates there (the
-//!   harness asserts `converged == 0`) while the per-block store
-//!   converges at `metrics.basis_bits_per_value < 22` — cheaper than
-//!   whole-basis `frsz2_21` on data where `frsz2_16` is unusable.
-//!
-//! ## Case inventory
-//!
-//! * `spmv` — one case per sparse format on the *same* matrix and
-//!   input vector: `spmv_csr`, `spmv_ell`, `spmv_sell` (SELL-32-256).
-//!   Their fingerprints MUST be pairwise equal at equal thread counts
-//!   (the `SparseMatrix` bit-identity contract); the harness exits
-//!   non-zero on any cross-format divergence. `config.auto_format`
-//!   records which format `spla::select::auto_format` picked, and each
-//!   case's `metrics.storage_bytes` exposes the padding trade-off.
-//! * `codec` — `codec_roundtrip_l16`/`l21`/`l32` round trips plus the
-//!   `basis_dots`/`basis_gemv` kernel microbenches and their `_ref`
-//!   counterparts (see v3 notes above).
-//! * `solve` — `cb_gmres_frsz2_21` (CSR operator) and
-//!   `cb_gmres_frsz2_21_auto` (auto-selected format). Both fingerprint
-//!   the full residual history and MUST agree: solver convergence is
-//!   independent of the matrix format. Since v2 the suite also runs a
-//!   stagnation pair on a PR02R-like similarity-scaled operator:
-//!   `cb_gmres_frsz2_16_fixed` (stagnates by design; the harness
-//!   asserts `converged == 0`) and `cb_gmres_adaptive` (escalating
-//!   basis; must converge, `metrics.escalations ≥ 1`). Since v4 the
-//!   suite adds `cb_gmres_adaptive_bidir` (escalation *and*
-//!   de-escalation in one trajectory) and the runs-operator pair
-//!   `cb_gmres_frsz2_16_runs` / `cb_gmres_frsz2_ab` (see v4 notes
-//!   above).
 
 use std::fmt;
 
@@ -424,8 +349,9 @@ impl Parser<'_> {
     }
 }
 
-/// Current `BENCH_*.json` schema version.
-pub const BENCH_SCHEMA_VERSION: f64 = 4.0;
+/// Current `BENCH_*.json` schema version (documented field-by-field in
+/// `docs/bench-schema.md`).
+pub const BENCH_SCHEMA_VERSION: f64 = 5.0;
 
 fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
     v.get(key)
@@ -434,15 +360,19 @@ fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a finite number"))
 }
 
-/// Validate a parsed document against the version-4 bench schema
-/// documented at module level. Returns the number of cases.
+/// Validate a parsed document against the current bench schema
+/// (documented field-by-field in `docs/bench-schema.md`). Returns the
+/// number of cases.
 pub fn validate_bench(doc: &Json) -> Result<usize, String> {
     if !matches!(doc, Json::Obj(_)) {
         return Err("document root must be an object".into());
     }
     let version = require_num(doc, "root", "schema_version")?;
     if version != BENCH_SCHEMA_VERSION {
-        return Err(format!("unsupported schema_version {version}"));
+        return Err(format!(
+            "unsupported schema_version {version} (this harness validates \
+             version {BENCH_SCHEMA_VERSION}; see docs/bench-schema.md)"
+        ));
     }
     let bench = doc
         .get("bench")
@@ -530,7 +460,7 @@ mod tests {
 
     fn sample_doc() -> Json {
         Json::obj(vec![
-            ("schema_version", Json::Num(4.0)),
+            ("schema_version", Json::Num(5.0)),
             ("bench", Json::Str("spmv".into())),
             ("quick", Json::Bool(true)),
             ("threads_available", Json::Num(4.0)),
@@ -622,10 +552,12 @@ mod tests {
         let wrong_version = parse(
             &sample_doc()
                 .to_string()
-                .replace("\"schema_version\": 4", "\"schema_version\": 3"),
+                .replace("\"schema_version\": 5", "\"schema_version\": 3"),
         )
         .unwrap();
-        assert!(validate_bench(&wrong_version).is_err());
+        let err = validate_bench(&wrong_version).unwrap_err();
+        // Rejections point the reader at the schema document.
+        assert!(err.contains("docs/bench-schema.md"), "{err}");
 
         let negative_time = parse(
             &sample_doc()

@@ -24,6 +24,7 @@ const MASK52: u64 = (1u64 << 52) - 1;
 /// used by the rounding-ablation benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Rounding {
+    /// Drop the low bits (the paper's step 5).
     #[default]
     Truncate,
     /// Round half away from zero, saturating at the field maximum.
@@ -83,21 +84,25 @@ impl Frsz2Config {
         }
     }
 
+    /// The same configuration with a different rounding mode.
     pub fn with_rounding(mut self, rounding: Rounding) -> Self {
         self.rounding = rounding;
         self
     }
 
+    /// Values per block (`BS`).
     #[inline]
     pub fn block_size(&self) -> usize {
         self.block_size as usize
     }
 
+    /// Stored bits per value (`l`).
     #[inline]
     pub fn bits(&self) -> u32 {
         self.bits
     }
 
+    /// Rounding mode applied when truncating significands.
     #[inline]
     pub fn rounding(&self) -> Rounding {
         self.rounding
@@ -355,12 +360,14 @@ impl Frsz2Vector {
         Ok(Self::compress(cfg, data))
     }
 
+    /// Decompress the whole vector into a fresh allocation.
     pub fn decompress(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.len];
         self.decompress_into(&mut out);
         out
     }
 
+    /// Decompress the whole vector into `out` (must match `len`).
     pub fn decompress_into(&self, out: &mut [f64]) {
         assert_eq!(out.len(), self.len);
         decompress_range(self.cfg, &self.words, &self.exps, self.len, 0, out);
@@ -377,14 +384,17 @@ impl Frsz2Vector {
         get(self.cfg, &self.words, &self.exps, i)
     }
 
+    /// Number of stored values.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// `true` when no values are stored.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
+    /// The format parameters this vector was compressed with.
     pub fn config(&self) -> Frsz2Config {
         self.cfg
     }

@@ -57,6 +57,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adaptive_store;
 pub mod bitpack;
 pub mod codec;

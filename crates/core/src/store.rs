@@ -41,6 +41,7 @@ impl Frsz2Store {
         }
     }
 
+    /// The format parameters every column is stored with.
     pub fn config(&self) -> Frsz2Config {
         self.cfg
     }

@@ -40,7 +40,7 @@
 //! are reproduced bit for bit.
 
 use crate::basis_format::{self, BasisFormat};
-use crate::gmres::{solve_driver, GmresOptions, SolveResult};
+use crate::gmres::{solve_driver, CycleEvent, GmresOptions, SolveResult};
 use crate::precond::Preconditioner;
 use spla::SparseMatrix;
 
@@ -173,6 +173,24 @@ pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
     opts: &AdaptiveOptions,
     precond: &P,
 ) -> SolveResult {
+    adaptive_gmres_observed(a, b, x0, opts, precond, |_| {})
+}
+
+/// [`adaptive_gmres`] with a per-cycle telemetry observer: `observe`
+/// fires once at every restart boundary, *after* the rung decision, so
+/// [`CycleEvent::format`] names the format of the cycle about to run.
+/// The observer cannot influence the solve — an observed solve is
+/// bit-identical to the unobserved one (the escalation schedule
+/// included); the final converged state arrives via the returned
+/// [`crate::SolveStats`], not an event.
+pub fn adaptive_gmres_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &AdaptiveOptions,
+    precond: &P,
+    mut observe: impl FnMut(&CycleEvent),
+) -> SolveResult {
     let n = a.rows();
     assert!(opts.min_cycle_improvement >= 1.0);
     assert!(opts.max_implicit_explicit_gap >= 1.0);
@@ -202,52 +220,54 @@ pub fn adaptive_gmres<P: Preconditioner, A: SparseMatrix + ?Sized>(
         precond,
         basis,
         |boundary, basis, stats| {
-            let Some(prev) = boundary.prev_explicit_rrn else {
-                return; // first boundary: no finished cycle to judge
-            };
-            if stagnation(
-                opts,
-                prev,
-                boundary.explicit_rrn,
-                boundary.last_implicit_rrn,
-            )
-            .is_some()
-            {
-                qualifying_streak = 0;
-                if let Some(next) = basis_format::escalate(&format.name()) {
-                    format =
-                        basis_format::by_name(&next).expect("escalation targets are registered");
-                    *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
-                    stats.escalations += 1;
-                    stats.format = basis.format_name();
-                }
-                // Already at the top: nothing stronger to switch to;
-                // keep iterating toward max_iters honestly.
-                return;
-            }
-            if !opts.de_escalate {
-                return;
-            }
-            if qualifies_for_de_escalation(
-                opts,
-                prev,
-                boundary.explicit_rrn,
-                boundary.last_implicit_rrn,
-            ) {
-                qualifying_streak += 1;
-                if qualifying_streak >= opts.de_escalation_cycles {
+            // First boundary: no finished cycle to judge, only observe.
+            if let Some(prev) = boundary.prev_explicit_rrn {
+                if stagnation(
+                    opts,
+                    prev,
+                    boundary.explicit_rrn,
+                    boundary.last_implicit_rrn,
+                )
+                .is_some()
+                {
                     qualifying_streak = 0;
-                    if let Some(down) = basis_format::de_escalate(&format.name()) {
-                        format = basis_format::by_name(&down).expect("ladder rungs are registered");
+                    if let Some(next) = basis_format::escalate(&format.name()) {
+                        format = basis_format::by_name(&next)
+                            .expect("escalation targets are registered");
                         *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
-                        stats.de_escalations += 1;
+                        stats.escalations += 1;
                         stats.format = basis.format_name();
                     }
-                    // At the bottom rung: nothing cheaper to reclaim.
+                    // Already at the top: nothing stronger to switch
+                    // to; keep iterating toward max_iters honestly.
+                } else if opts.de_escalate {
+                    if qualifies_for_de_escalation(
+                        opts,
+                        prev,
+                        boundary.explicit_rrn,
+                        boundary.last_implicit_rrn,
+                    ) {
+                        qualifying_streak += 1;
+                        if qualifying_streak >= opts.de_escalation_cycles {
+                            qualifying_streak = 0;
+                            if let Some(down) = basis_format::de_escalate(&format.name()) {
+                                format = basis_format::by_name(&down)
+                                    .expect("ladder rungs are registered");
+                                *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                                stats.de_escalations += 1;
+                                stats.format = basis.format_name();
+                            }
+                            // At the bottom rung: nothing cheaper to
+                            // reclaim.
+                        }
+                    } else {
+                        qualifying_streak = 0;
+                    }
                 }
-            } else {
-                qualifying_streak = 0;
             }
+            // Telemetry fires after the rung decision, so the event
+            // names the format of the cycle about to run.
+            observe(&CycleEvent::at_boundary(boundary, basis, stats));
         },
     )
 }
@@ -526,6 +546,48 @@ mod tests {
             r.stats.basis_bits_per_value
         );
         assert_eq!(r.stats.format, "frsz2_ab");
+    }
+
+    /// The telemetry observer is a pure spectator: the observed solve
+    /// reproduces the unobserved one bit for bit, streams exactly one
+    /// event per executed cycle, and each event names the format the
+    /// cycle actually ran in (the trajectory, in order).
+    #[test]
+    fn observed_solve_is_bit_identical_and_streams_cycles() {
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+        let mut events = Vec::new();
+        let observed =
+            adaptive_gmres_observed(&a, &b, &x0, &opts, &Identity, |e| events.push(e.clone()));
+        let plain = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert_eq!(
+            observed.stats.format_trajectory,
+            plain.stats.format_trajectory
+        );
+        for (u, v) in observed.x.iter().zip(&plain.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        assert_eq!(events.len(), observed.stats.restarts);
+        let event_formats: Vec<&str> = events.iter().map(|e| e.format.as_str()).collect();
+        let trajectory: Vec<&str> = observed
+            .stats
+            .format_trajectory
+            .iter()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(event_formats, trajectory);
+        // First boundary: cycle 0, zero iterations, unit residual.
+        assert_eq!(events[0].cycle, 0);
+        assert_eq!(events[0].iterations, 0);
+        assert!((events[0].explicit_rrn - 1.0).abs() < 1e-12);
+        // Counters only move forward between boundaries.
+        for pair in events.windows(2) {
+            assert_eq!(pair[1].cycle, pair[0].cycle + 1);
+            assert!(pair[1].iterations > pair[0].iterations);
+            assert!(pair[1].basis_bytes_read >= pair[0].basis_bytes_read);
+            assert!(pair[1].basis_bytes_written >= pair[0].basis_bytes_written);
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct Basis<S: ColumnStorage> {
 }
 
 impl<S: ColumnStorage> Basis<S> {
+    /// A basis of `cols` columns of `rows` values in `S`'s default
+    /// configuration.
     pub fn new(rows: usize, cols: usize) -> Self {
         Basis::from_store(S::with_shape(rows, cols))
     }
@@ -43,14 +45,17 @@ impl<S: ColumnStorage> Basis<S> {
         Basis { store, chunk }
     }
 
+    /// Values per column.
     pub fn rows(&self) -> usize {
         self.store.rows()
     }
 
+    /// Column capacity (`restart + 1` for GMRES).
     pub fn cols(&self) -> usize {
         self.store.cols()
     }
 
+    /// The underlying column storage.
     pub fn store(&self) -> &S {
         &self.store
     }

@@ -67,9 +67,13 @@ pub struct HistoryPoint {
 /// Counters and outcome of a solve.
 #[derive(Clone, Debug, Default)]
 pub struct SolveStats {
+    /// Total Arnoldi iterations across all restart cycles.
     pub iterations: usize,
+    /// Completed restart cycles.
     pub restarts: usize,
+    /// Columns that needed a second orthogonalization pass (DGKS).
     pub reorthogonalizations: usize,
+    /// Happy/unhappy Arnoldi breakdowns encountered.
     pub breakdowns: usize,
     /// Set **only** from an explicitly recomputed `‖b − Ax‖/‖b‖ ≤
     /// target_rrn` — never from the implicit Givens estimate, whose
@@ -77,6 +81,7 @@ pub struct SolveStats {
     pub converged: bool,
     /// Explicit relative residual norm of the returned solution.
     pub final_rrn: f64,
+    /// Wall-clock time of the whole solve.
     pub wall_time: Duration,
     /// Bytes streamed from basis storage (decompression traffic).
     pub basis_bytes_read: u64,
@@ -104,8 +109,11 @@ pub struct SolveStats {
 /// Result of [`gmres`].
 #[derive(Clone, Debug)]
 pub struct SolveResult {
+    /// The computed solution.
     pub x: Vec<f64>,
+    /// Counters and outcome (see [`SolveStats::converged`]).
     pub stats: SolveStats,
+    /// Per-iteration residual history (when `record_history` is set).
     pub history: Vec<HistoryPoint>,
     /// Basis vector captured at `capture_basis_at`, decompressed from
     /// storage (None if never reached).
@@ -431,6 +439,55 @@ pub fn gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>
 ) -> SolveResult {
     let basis = Basis::from_store(make_store(a.rows(), opts.restart + 1));
     solve_driver(a, b, x0, opts, precond, basis, |_, _, _| {})
+}
+
+/// One per-cycle telemetry record, emitted at every restart boundary of
+/// an *observed* solve ([`crate::basis_format::gmres_dyn_observed`],
+/// [`crate::adaptive::adaptive_gmres_observed`]) just before the next
+/// cycle runs.
+///
+/// Boundary semantics: the driver checks convergence *before* the hook
+/// fires, so a solve that converges after cycle `k` emits events for
+/// cycles `0..=k` but not for the final (converged) boundary — the
+/// terminal state is reported once, in the returned
+/// [`SolveStats`]. Every field is computed from deterministic
+/// quantities, so the event stream is bit-identical at any thread
+/// count, like the solve itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CycleEvent {
+    /// Index of the restart cycle about to run (0-based; equals the
+    /// number of completed cycles).
+    pub cycle: usize,
+    /// Global inner-iteration count accumulated so far.
+    pub iterations: usize,
+    /// Explicit `‖b − Ax‖/‖b‖` entering the cycle — the only residual
+    /// the convergence decision trusts.
+    pub explicit_rrn: f64,
+    /// Basis storage format of the cycle about to run (after any
+    /// adaptive rung change at this boundary).
+    pub format: String,
+    /// Basis bytes read from storage so far (decompression traffic).
+    pub basis_bytes_read: u64,
+    /// Basis bytes written to storage so far (compression traffic).
+    pub basis_bytes_written: u64,
+}
+
+impl CycleEvent {
+    /// Assemble an event from the driver state at a restart boundary.
+    pub(crate) fn at_boundary<S: ColumnStorage>(
+        boundary: &Boundary,
+        basis: &Basis<S>,
+        stats: &SolveStats,
+    ) -> Self {
+        CycleEvent {
+            cycle: stats.restarts,
+            iterations: stats.iterations,
+            explicit_rrn: boundary.explicit_rrn,
+            format: basis.format_name(),
+            basis_bytes_read: stats.basis_bytes_read,
+            basis_bytes_written: stats.basis_bytes_written,
+        }
+    }
 }
 
 /// Restart-boundary context handed to the [`solve_driver`] hook, for

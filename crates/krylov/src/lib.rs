@@ -21,6 +21,8 @@
 //! explicit restart residual shows stagnation or an implicit/explicit
 //! gap — one solver, every storage backend, no false convergence.
 
+#![warn(missing_docs)]
+
 pub mod adaptive;
 pub mod basis;
 pub mod basis_format;
@@ -28,9 +30,11 @@ pub mod diagnostics;
 pub mod gmres;
 pub mod precond;
 
-pub use adaptive::{adaptive_gmres, AdaptiveOptions};
+pub use adaptive::{adaptive_gmres, adaptive_gmres_observed, AdaptiveOptions};
 pub use basis::Basis;
-pub use basis_format::{auto_basis, BasisFormat, ESCALATION_LADDER};
+pub use basis_format::{auto_basis, gmres_dyn_observed, BasisFormat, ESCALATION_LADDER};
 pub use diagnostics::{history_summary, HistorySummary};
-pub use gmres::{gmres, gmres_with, GmresOptions, HistoryPoint, SolveResult, SolveStats};
+pub use gmres::{
+    gmres, gmres_with, CycleEvent, GmresOptions, HistoryPoint, SolveResult, SolveStats,
+};
 pub use precond::{BlockJacobi, Identity, Jacobi, PrecondError, Preconditioner};

@@ -19,10 +19,16 @@ use spla::SparseMatrix;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrecondError {
     /// `diag(A)` has a zero entry at this row: point-Jacobi undefined.
-    ZeroDiagonal { row: usize },
+    ZeroDiagonal {
+        /// Row whose diagonal entry is zero.
+        row: usize,
+    },
     /// This diagonal block is numerically singular: block-Jacobi
     /// undefined.
-    SingularBlock { block: usize },
+    SingularBlock {
+        /// Index of the singular diagonal block.
+        block: usize,
+    },
 }
 
 impl std::fmt::Display for PrecondError {

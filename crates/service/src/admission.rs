@@ -1,0 +1,177 @@
+//! Admission control against a compressed-basis memory budget.
+//!
+//! Every job's Krylov basis is the dominant allocation of a solve
+//! (`(restart + 1)` columns of `rows` values in the chosen storage
+//! format). The ledger tracks the bytes reserved by in-flight jobs and
+//! refuses — or queues — jobs that would push the total past the
+//! configured budget, so a burst of concurrent solves degrades into a
+//! typed error or a wait instead of an OOM kill.
+
+use crate::error::ServiceError;
+use std::sync::{Condvar, Mutex};
+
+/// What to do with a job whose basis reservation does not fit the
+/// remaining budget right now.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail fast with [`ServiceError::BudgetExceeded`].
+    #[default]
+    Reject,
+    /// Block until enough in-flight jobs finish for the reservation to
+    /// fit. A job whose reservation alone exceeds the whole budget is
+    /// still rejected — it could never run.
+    Queue,
+}
+
+/// The byte ledger: budget, policy, and the bytes currently reserved.
+pub(crate) struct Ledger {
+    budget: Option<u64>,
+    policy: AdmissionPolicy,
+    in_use: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl Ledger {
+    pub(crate) fn new(budget: Option<u64>, policy: AdmissionPolicy) -> Self {
+        Ledger {
+            budget,
+            policy,
+            in_use: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Bytes currently reserved by in-flight jobs.
+    pub(crate) fn in_use(&self) -> u64 {
+        *self.in_use.lock().expect("ledger lock")
+    }
+
+    /// Reserve `requested` bytes for a job on `operator`, honoring the
+    /// policy. The returned guard releases the reservation on drop
+    /// (solve completion, success or panic alike).
+    pub(crate) fn admit(
+        &self,
+        operator: &str,
+        requested: u64,
+    ) -> Result<Reservation<'_>, ServiceError> {
+        let Some(budget) = self.budget else {
+            // Unlimited: nothing to track.
+            return Ok(Reservation {
+                ledger: None,
+                bytes: 0,
+            });
+        };
+        let mut in_use = self.in_use.lock().expect("ledger lock");
+        if requested > budget {
+            // Could never fit, whatever drains — reject under both
+            // policies (queueing would deadlock).
+            return Err(ServiceError::BudgetExceeded {
+                operator: operator.to_string(),
+                requested,
+                budget,
+                in_use: *in_use,
+            });
+        }
+        match self.policy {
+            AdmissionPolicy::Reject => {
+                if *in_use + requested > budget {
+                    return Err(ServiceError::BudgetExceeded {
+                        operator: operator.to_string(),
+                        requested,
+                        budget,
+                        in_use: *in_use,
+                    });
+                }
+            }
+            AdmissionPolicy::Queue => {
+                while *in_use + requested > budget {
+                    in_use = self.freed.wait(in_use).expect("ledger lock");
+                }
+            }
+        }
+        *in_use += requested;
+        Ok(Reservation {
+            ledger: Some(self),
+            bytes: requested,
+        })
+    }
+}
+
+/// RAII reservation: holds `bytes` of the budget until dropped.
+pub(crate) struct Reservation<'a> {
+    ledger: Option<&'a Ledger>,
+    bytes: u64,
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if let Some(ledger) = self.ledger {
+            let mut in_use = ledger.in_use.lock().expect("ledger lock");
+            *in_use = in_use.saturating_sub(self.bytes);
+            drop(in_use);
+            ledger.freed.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_ledger_admits_everything() {
+        let ledger = Ledger::new(None, AdmissionPolicy::Reject);
+        let _a = ledger.admit("x", u64::MAX).unwrap();
+        let _b = ledger.admit("y", u64::MAX).unwrap();
+        assert_eq!(ledger.in_use(), 0);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_and_frees_on_drop() {
+        let ledger = Ledger::new(Some(1000), AdmissionPolicy::Reject);
+        let a = ledger.admit("a", 700).unwrap();
+        assert_eq!(ledger.in_use(), 700);
+        let denied = ledger.admit("b", 400).err().unwrap();
+        assert!(matches!(
+            denied,
+            ServiceError::BudgetExceeded {
+                requested: 400,
+                budget: 1000,
+                in_use: 700,
+                ..
+            }
+        ));
+        drop(a);
+        assert_eq!(ledger.in_use(), 0);
+        let _b = ledger.admit("b", 400).unwrap();
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_even_when_queueing() {
+        let ledger = Ledger::new(Some(100), AdmissionPolicy::Queue);
+        assert!(matches!(
+            ledger.admit("huge", 101),
+            Err(ServiceError::BudgetExceeded { requested: 101, .. })
+        ));
+    }
+
+    #[test]
+    fn queue_policy_waits_for_the_budget_to_drain() {
+        use std::sync::Arc;
+        let ledger = Arc::new(Ledger::new(Some(100), AdmissionPolicy::Queue));
+        let first = ledger.admit("a", 80).unwrap();
+        let waiter = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                // Blocks until `first` drops, then succeeds.
+                let r = ledger.admit("b", 80).unwrap();
+                drop(r);
+            })
+        };
+        // Give the waiter time to reach the condvar, then release.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(first);
+        waiter.join().unwrap();
+        assert_eq!(ledger.in_use(), 0);
+    }
+}

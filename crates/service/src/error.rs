@@ -1,0 +1,137 @@
+//! Typed errors of the solver service.
+//!
+//! Every rejection a caller can hit — unknown names, shape mismatches,
+//! preconditioner failures, admission-control denials — is a variant
+//! here, never a panic: a service survives a bad job; a library call
+//! may not.
+
+use krylov::PrecondError;
+
+/// Why the service refused a registration or a solve job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The job names an operator that was never registered.
+    UnknownOperator(String),
+    /// An operator with this name is already registered (re-registering
+    /// would silently invalidate cached analysis other jobs rely on).
+    DuplicateOperator(String),
+    /// The job's fixed basis format is not in the
+    /// `krylov::basis_format` registry.
+    UnknownFormat(String),
+    /// The job's right-hand side (or initial guess) does not match the
+    /// operator's dimension.
+    DimensionMismatch {
+        /// Registered operator the job targeted.
+        operator: String,
+        /// The operator's row count.
+        rows: usize,
+        /// Length of the offending vector.
+        got: usize,
+    },
+    /// The requested preconditioner could not be factorized for this
+    /// operator (zero diagonal, singular block, ...).
+    PrecondFailed {
+        /// Operator the factorization ran against.
+        operator: String,
+        /// The underlying factorization error.
+        source: PrecondError,
+    },
+    /// Admitting the job would exceed the configured compressed-basis
+    /// memory budget. Under [`crate::AdmissionPolicy::Reject`] this is
+    /// returned whenever the reservation does not fit *right now*;
+    /// under [`crate::AdmissionPolicy::Queue`] only when the job could
+    /// never fit (its reservation alone exceeds the whole budget).
+    BudgetExceeded {
+        /// Operator the rejected job targeted.
+        operator: String,
+        /// Bytes the job's basis reservation asked for.
+        requested: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+        /// Bytes reserved by in-flight jobs at decision time.
+        in_use: u64,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownOperator(name) => {
+                write!(f, "no operator named {name:?} is registered")
+            }
+            ServiceError::DuplicateOperator(name) => {
+                write!(f, "operator {name:?} is already registered")
+            }
+            ServiceError::UnknownFormat(name) => {
+                write!(f, "unknown basis format {name:?}")
+            }
+            ServiceError::DimensionMismatch {
+                operator,
+                rows,
+                got,
+            } => write!(
+                f,
+                "operator {operator:?} has {rows} rows but the job vector has {got}"
+            ),
+            ServiceError::PrecondFailed { operator, source } => {
+                write!(
+                    f,
+                    "preconditioner for operator {operator:?} failed: {source}"
+                )
+            }
+            ServiceError::BudgetExceeded {
+                operator,
+                requested,
+                budget,
+                in_use,
+            } => write!(
+                f,
+                "job on {operator:?} needs {requested} basis bytes but only {} of the \
+                 {budget}-byte budget are free ({in_use} in use)",
+                budget.saturating_sub(*in_use)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::PrecondFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(ServiceError::UnknownOperator("pr02r".into())
+            .to_string()
+            .contains("pr02r"));
+        let e = ServiceError::BudgetExceeded {
+            operator: "big".into(),
+            requested: 900,
+            budget: 1000,
+            in_use: 400,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("900") && msg.contains("1000") && msg.contains("400"));
+        // Free-byte arithmetic saturates instead of underflowing.
+        assert!(msg.contains("600"));
+    }
+
+    #[test]
+    fn precond_failure_exposes_its_source() {
+        use std::error::Error;
+        let e = ServiceError::PrecondFailed {
+            operator: "scaled".into(),
+            source: PrecondError::ZeroDiagonal { row: 3 },
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Solve-job descriptions and the telemetry events they stream.
+
+use krylov::{CycleEvent, GmresOptions};
+
+/// How a job picks its Krylov-basis storage format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BasisSelection {
+    /// A fixed registry format by paper name (`float64`, `frsz2_21`,
+    /// `frsz2_ab`, any Table II codec, ...).
+    Fixed(String),
+    /// Let [`krylov::auto_basis`] pick the cheapest ladder format whose
+    /// accuracy floor clears the job's stopping target.
+    Auto,
+    /// Run the bidirectionally adaptive driver
+    /// ([`krylov::adaptive_gmres`] with default policy): start at the
+    /// bottom of the escalation ladder, escalate on stagnation
+    /// evidence.
+    Adaptive,
+}
+
+/// One solve job against a registered operator.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Name of the registered operator to solve against.
+    pub operator: String,
+    /// Right-hand side (must match the operator's row count).
+    pub b: Vec<f64>,
+    /// Initial guess; `None` starts from zero.
+    pub x0: Option<Vec<f64>>,
+    /// Basis-format selection for this job.
+    pub basis: BasisSelection,
+    /// Solver options (restart length, stopping target, ...).
+    pub opts: GmresOptions,
+    /// Worker threads for this job's slice of the pool. Each job
+    /// installs its own fixed-size thread pool, and the workspace's
+    /// determinism contract makes the result bit-identical for *any*
+    /// value here.
+    pub threads: usize,
+}
+
+impl JobSpec {
+    /// A single-threaded, auto-format job with default solver options.
+    pub fn new(operator: impl Into<String>, b: Vec<f64>) -> Self {
+        JobSpec {
+            operator: operator.into(),
+            b,
+            x0: None,
+            basis: BasisSelection::Auto,
+            opts: GmresOptions::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// A per-cycle telemetry event of one job in a batch: the job index
+/// plus the solver's [`CycleEvent`] snapshot (residual, format, basis
+/// traffic).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobEvent {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// The restart-boundary snapshot.
+    pub cycle: CycleEvent,
+}

@@ -1,0 +1,75 @@
+//! A long-lived, concurrent front end for the CB-GMRES solver stack.
+//!
+//! The library crates answer "solve this system once": every call pays
+//! for sparse-format selection, row statistics, and preconditioner
+//! factorization again. [`SolverService`] amortizes that work the way a
+//! resident solver process would:
+//!
+//! 1. **Register** each matrix once ([`SolverService::register_csr`]).
+//!    Registration runs the expensive analysis a single time — the
+//!    `spla::auto_format` choice, row-length statistics, and the
+//!    factorized preconditioner are cached behind an `Arc` and shared
+//!    read-only by every later job.
+//! 2. **Submit** solve jobs ([`JobSpec`]) against registered operators,
+//!    one at a time ([`SolverService::solve`]) or as a concurrent batch
+//!    ([`SolverService::run_batch`]). Each job picks a basis format
+//!    ([`BasisSelection`]): a fixed registry name, the accuracy-floor
+//!    `Auto` pick, or the bidirectionally `Adaptive` ladder.
+//! 3. **Observe** per-cycle telemetry — explicit residual, basis format
+//!    in effect, compressed-basis traffic — through a callback
+//!    ([`SolverService::run_batch_observed`]) or an `mpsc` channel
+//!    ([`SolverService::run_batch_streaming`]).
+//!
+//! # Determinism under concurrency
+//!
+//! The workspace's bit-identity contract (chunk dealing by item count,
+//! task-ordered combination) makes every solve independent of its
+//! worker-thread count. The service leans on it: each job installs its
+//! own thread pool, so a batch of concurrent jobs returns results
+//! byte-for-byte equal to the same jobs run sequentially on one thread
+//! — the `service` bench suite fingerprint-checks exactly this.
+//!
+//! # Admission control
+//!
+//! The Krylov basis dominates a job's memory (`restart + 1` columns of
+//! `rows` values in the selected format). A [`ServiceConfig`] budget
+//! caps the bytes reserved by in-flight jobs: a job that does not fit
+//! is rejected with the typed [`ServiceError::BudgetExceeded`] (policy
+//! [`AdmissionPolicy::Reject`]) or parked until capacity frees
+//! ([`AdmissionPolicy::Queue`]) — the service never OOMs on a burst.
+//!
+//! # Example
+//!
+//! ```
+//! use solver_service::{JobSpec, PrecondSpec, SolverService};
+//! use spla::dense::manufactured_rhs;
+//! use spla::gen;
+//!
+//! let service = SolverService::with_defaults();
+//! let a = gen::conv_diff_3d(6, 6, 6, [0.3, 0.2, 0.1], 0.3);
+//! let info = service.register_csr("demo", &a, PrecondSpec::Jacobi)?;
+//! assert_eq!(info.rows, 216);
+//!
+//! let (_, b) = manufactured_rhs(&a);
+//! let mut spec = JobSpec::new("demo", b); // Auto basis, 1 thread
+//! spec.opts.target_rrn = 1e-8;
+//! let result = service.solve(&spec)?;
+//! assert!(result.stats.converged);
+//! # Ok::<(), solver_service::ServiceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod error;
+mod job;
+mod operator;
+mod service;
+
+pub use admission::AdmissionPolicy;
+pub use error::ServiceError;
+pub use job::{BasisSelection, JobEvent, JobSpec};
+pub use operator::{OperatorInfo, PrecondSpec};
+pub use service::{
+    estimated_adaptive_basis_bytes, estimated_basis_bytes, ServiceConfig, SolverService,
+};

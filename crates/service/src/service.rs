@@ -1,0 +1,554 @@
+//! The long-lived [`SolverService`].
+
+use crate::admission::{AdmissionPolicy, Ledger};
+use crate::error::ServiceError;
+use crate::job::{BasisSelection, JobEvent, JobSpec};
+use crate::operator::{AnalyzedOperator, OperatorInfo, PrecondSpec};
+use krylov::basis_format::{self, BasisFormat};
+use krylov::{
+    adaptive_gmres_observed, gmres_dyn_observed, AdaptiveOptions, CycleEvent, GmresOptions,
+    SolveResult,
+};
+use spla::Csr;
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Service-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Upper bound on the compressed-basis bytes of all in-flight jobs
+    /// combined; `None` disables admission control.
+    pub basis_budget_bytes: Option<u64>,
+    /// What to do with a job that does not fit the remaining budget.
+    pub admission: AdmissionPolicy,
+}
+
+/// Estimated basis reservation of a fixed-format job: one column of
+/// `rows` values at the format's nominal rate (Eq. 3 for FRSZ2), times
+/// the `restart + 1` columns a cycle stores. This is the number
+/// admission control charges against the budget — an a-priori bound,
+/// deliberately computed from the *registry* rate rather than a live
+/// store, so rejection happens before any allocation.
+pub fn estimated_basis_bytes(format: &dyn BasisFormat, rows: usize, restart: usize) -> u64 {
+    let column = (format.bits_per_value(rows) * rows as f64 / 8.0).ceil() as u64;
+    column * (restart as u64 + 1)
+}
+
+/// Worst-case basis reservation of an adaptive job: the escalation
+/// ladder may end at `float64`, so the full 8 bytes/value are charged
+/// up front (a budget that admits the optimistic start but not the
+/// escalated end would OOM exactly when the solve needs help most).
+pub fn estimated_adaptive_basis_bytes(rows: usize, restart: usize) -> u64 {
+    8 * rows as u64 * (restart as u64 + 1)
+}
+
+/// A long-lived solver front end: operators are registered (and
+/// analyzed) once, then any number of solve jobs run against the cached
+/// analysis — sequentially or concurrently, with per-cycle telemetry
+/// and admission control against a basis-memory budget. See the crate
+/// docs for a walkthrough.
+pub struct SolverService {
+    config: ServiceConfig,
+    operators: RwLock<HashMap<String, Arc<AnalyzedOperator>>>,
+    ledger: Ledger,
+}
+
+impl SolverService {
+    /// Build a service with the given budget/admission configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        SolverService {
+            config,
+            operators: RwLock::new(HashMap::new()),
+            ledger: Ledger::new(config.basis_budget_bytes, config.admission),
+        }
+    }
+
+    /// Build an unlimited service (no admission control).
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Compressed-basis bytes currently reserved by in-flight jobs
+    /// (always 0 when no budget is configured).
+    pub fn basis_bytes_in_use(&self) -> u64 {
+        self.ledger.in_use()
+    }
+
+    /// Register a matrix under `name`, running the expensive
+    /// per-operator analysis once: sparse-format auto-selection,
+    /// row-length statistics, preconditioner factorization. Returns the
+    /// cached analysis snapshot. Fails with
+    /// [`ServiceError::DuplicateOperator`] if the name is taken and
+    /// [`ServiceError::PrecondFailed`] if the factorization rejects the
+    /// operator.
+    pub fn register_csr(
+        &self,
+        name: &str,
+        a: &Csr,
+        precond: PrecondSpec,
+    ) -> Result<OperatorInfo, ServiceError> {
+        if self
+            .operators
+            .read()
+            .expect("registry lock")
+            .contains_key(name)
+        {
+            return Err(ServiceError::DuplicateOperator(name.to_string()));
+        }
+        // Analyze outside the write lock: registration of independent
+        // operators can proceed concurrently.
+        let analyzed = Arc::new(AnalyzedOperator::analyze(name, a, precond)?);
+        let opts = GmresOptions::default();
+        let info = analyzed.info(opts.target_rrn, opts.restart);
+        let mut registry = self.operators.write().expect("registry lock");
+        if registry.contains_key(name) {
+            return Err(ServiceError::DuplicateOperator(name.to_string()));
+        }
+        registry.insert(name.to_string(), analyzed);
+        Ok(info)
+    }
+
+    /// Names of all registered operators (sorted, for stable output).
+    pub fn operator_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .operators
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Cached analysis snapshot of a registered operator.
+    pub fn operator_info(&self, name: &str) -> Result<OperatorInfo, ServiceError> {
+        let opts = GmresOptions::default();
+        Ok(self.operator(name)?.info(opts.target_rrn, opts.restart))
+    }
+
+    /// The basis format [`krylov::auto_basis`] recommends for a solve
+    /// on `operator` with this stopping target and restart length.
+    pub fn recommended_basis(
+        &self,
+        operator: &str,
+        target_rrn: f64,
+        restart: usize,
+    ) -> Result<String, ServiceError> {
+        Ok(self
+            .operator(operator)?
+            .recommended_basis(target_rrn, restart))
+    }
+
+    fn operator(&self, name: &str) -> Result<Arc<AnalyzedOperator>, ServiceError> {
+        self.operators
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownOperator(name.to_string()))
+    }
+
+    /// Run one job to completion on the calling thread (under the job's
+    /// own thread pool), without telemetry.
+    pub fn solve(&self, spec: &JobSpec) -> Result<SolveResult, ServiceError> {
+        self.solve_observed(spec, |_| {})
+    }
+
+    /// Run one job to completion, streaming a [`CycleEvent`] to
+    /// `observe` at every restart boundary. The observer is a pure
+    /// spectator: observed and unobserved runs are bit-identical.
+    ///
+    /// The job is admitted against the basis budget first (a typed
+    /// [`ServiceError::BudgetExceeded`] instead of an allocation
+    /// failure), then solved inside a dedicated pool of
+    /// [`JobSpec::threads`] workers. The bit-identity contract makes
+    /// the result independent of that thread count, which is what lets
+    /// [`SolverService::run_batch`] check concurrent jobs against
+    /// sequential reference runs.
+    pub fn solve_observed(
+        &self,
+        spec: &JobSpec,
+        mut observe: impl FnMut(&CycleEvent),
+    ) -> Result<SolveResult, ServiceError> {
+        let op = self.operator(&spec.operator)?;
+        let rows = op.matrix.rows();
+        for vec in std::iter::once(&spec.b).chain(spec.x0.as_ref()) {
+            if vec.len() != rows {
+                return Err(ServiceError::DimensionMismatch {
+                    operator: spec.operator.clone(),
+                    rows,
+                    got: vec.len(),
+                });
+            }
+        }
+        // Resolve the format (and the reservation it implies) before
+        // touching the budget, so every rejection is typed.
+        let format: Option<Box<dyn BasisFormat>> = match &spec.basis {
+            BasisSelection::Fixed(name) => Some(
+                basis_format::by_name(name)
+                    .ok_or_else(|| ServiceError::UnknownFormat(name.clone()))?,
+            ),
+            BasisSelection::Auto => Some(krylov::auto_basis(
+                spec.opts.target_rrn,
+                rows,
+                spec.opts.restart,
+            )),
+            BasisSelection::Adaptive => None,
+        };
+        let requested = match &format {
+            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart),
+            None => estimated_adaptive_basis_bytes(rows, spec.opts.restart),
+        };
+        let _reservation = self.ledger.admit(&spec.operator, requested)?;
+
+        let zeros;
+        let x0: &[f64] = match &spec.x0 {
+            Some(x0) => x0,
+            None => {
+                zeros = vec![0.0; rows];
+                &zeros
+            }
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(spec.threads.max(1))
+            .build()
+            .expect("job thread pool");
+        let result = pool.install(|| match &format {
+            Some(f) => gmres_dyn_observed(
+                op.matrix.as_ref(),
+                &spec.b,
+                x0,
+                &spec.opts,
+                &op.precond,
+                f.as_ref(),
+                &mut observe,
+            ),
+            None => adaptive_gmres_observed(
+                op.matrix.as_ref(),
+                &spec.b,
+                x0,
+                &AdaptiveOptions {
+                    gmres: spec.opts.clone(),
+                    ..AdaptiveOptions::default()
+                },
+                &op.precond,
+                &mut observe,
+            ),
+        });
+        Ok(result)
+    }
+
+    /// Run a batch of jobs **concurrently**, one OS thread per job,
+    /// each inside its own [`JobSpec::threads`]-sized pool slice.
+    /// Results come back in submission order; each entry is that job's
+    /// own outcome (one rejected job does not fail the batch).
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Vec<Result<SolveResult, ServiceError>> {
+        self.run_batch_observed(specs, |_| {})
+    }
+
+    /// [`SolverService::run_batch`] with telemetry: `on_event` receives
+    /// every job's per-cycle [`JobEvent`], interleaved across jobs as
+    /// boundaries are reached (events of one job stay in cycle order).
+    pub fn run_batch_observed(
+        &self,
+        specs: &[JobSpec],
+        on_event: impl Fn(JobEvent) + Sync,
+    ) -> Vec<Result<SolveResult, ServiceError>> {
+        std::thread::scope(|scope| {
+            let on_event = &on_event;
+            let handles: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(job, spec)| {
+                    scope.spawn(move || {
+                        self.solve_observed(spec, |cycle| {
+                            on_event(JobEvent {
+                                job,
+                                cycle: cycle.clone(),
+                            })
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("job thread panicked"))
+                .collect()
+        })
+    }
+
+    /// [`SolverService::run_batch`] streaming telemetry through a
+    /// channel instead of a callback — the ergonomic form when the
+    /// consumer lives on another thread. Send failures (receiver
+    /// dropped) are ignored: telemetry is best-effort, the solve is
+    /// not.
+    pub fn run_batch_streaming(
+        &self,
+        specs: &[JobSpec],
+        events: Sender<JobEvent>,
+    ) -> Vec<Result<SolveResult, ServiceError>> {
+        let events = Mutex::new(events);
+        self.run_batch_observed(specs, move |event| {
+            let _ = events.lock().expect("event sender lock").send(event);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spla::dense::manufactured_rhs;
+    use spla::gen;
+
+    fn smooth() -> (Csr, Vec<f64>) {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        (a, b)
+    }
+
+    fn job(operator: &str, b: Vec<f64>, format: &str, target: f64) -> JobSpec {
+        let mut spec = JobSpec::new(operator, b);
+        spec.basis = BasisSelection::Fixed(format.into());
+        spec.opts.target_rrn = target;
+        spec.opts.max_iters = 2000;
+        spec
+    }
+
+    #[test]
+    fn registration_caches_analysis_and_rejects_duplicates() {
+        let service = SolverService::with_defaults();
+        let (a, _) = smooth();
+        let info = service
+            .register_csr("smooth", &a, PrecondSpec::Jacobi)
+            .unwrap();
+        assert_eq!(info.rows, 512);
+        assert_eq!(info.nnz, a.nnz());
+        assert_eq!(info.preconditioner, "jacobi");
+        // The 7-point stencil is near-uniform: auto_format picks a
+        // padded format, never CSR.
+        assert_ne!(info.sparse_format, "csr");
+        assert_eq!(info.row_stats.rows, 512);
+        assert_eq!(
+            service.register_csr("smooth", &a, PrecondSpec::None),
+            Err(ServiceError::DuplicateOperator("smooth".into()))
+        );
+        assert_eq!(service.operator_names(), vec!["smooth".to_string()]);
+        assert_eq!(service.operator_info("smooth").unwrap(), info);
+    }
+
+    #[test]
+    fn unknown_names_surface_as_typed_errors() {
+        let service = SolverService::with_defaults();
+        let (a, b) = smooth();
+        assert!(matches!(
+            service.solve(&JobSpec::new("ghost", b.clone())),
+            Err(ServiceError::UnknownOperator(_))
+        ));
+        assert!(matches!(
+            service.operator_info("ghost"),
+            Err(ServiceError::UnknownOperator(_))
+        ));
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        assert_eq!(
+            service.solve(&job("smooth", b, "frsz2_99", 1e-6)).err(),
+            Some(ServiceError::UnknownFormat("frsz2_99".into()))
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_checked_for_b_and_x0() {
+        let service = SolverService::with_defaults();
+        let (a, b) = smooth();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        assert!(matches!(
+            service.solve(&JobSpec::new("smooth", vec![1.0; 10])),
+            Err(ServiceError::DimensionMismatch {
+                rows: 512,
+                got: 10,
+                ..
+            })
+        ));
+        let mut spec = JobSpec::new("smooth", b);
+        spec.x0 = Some(vec![0.0; 100]);
+        assert!(matches!(
+            service.solve(&spec),
+            Err(ServiceError::DimensionMismatch { got: 100, .. })
+        ));
+    }
+
+    #[test]
+    fn precond_factorization_failure_is_typed() {
+        let service = SolverService::with_defaults();
+        // Row 1 has a zero diagonal: Jacobi must refuse.
+        let mut coo = spla::Coo::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 2, 4.0);
+        let err = service
+            .register_csr("bad", &coo.to_csr(), PrecondSpec::Jacobi)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::PrecondFailed { .. }));
+        // The failed registration left nothing behind.
+        assert!(service.operator_names().is_empty());
+    }
+
+    #[test]
+    fn budget_exceeding_job_is_rejected_with_typed_error() {
+        let (a, b) = smooth();
+        let fmt = basis_format::by_name("float64").unwrap();
+        let opts = GmresOptions::default();
+        let needed = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart);
+        let service = SolverService::new(ServiceConfig {
+            basis_budget_bytes: Some(needed - 1),
+            admission: AdmissionPolicy::Reject,
+        });
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let denied = service
+            .solve(&job("smooth", b.clone(), "float64", 1e-8))
+            .unwrap_err();
+        assert!(matches!(
+            denied,
+            ServiceError::BudgetExceeded { requested, budget, .. }
+                if requested == needed && budget == needed - 1
+        ));
+        // A compressed-basis job fits the same budget comfortably.
+        let ok = service.solve(&job("smooth", b, "frsz2_21", 1e-6)).unwrap();
+        assert!(ok.stats.converged);
+        assert_eq!(service.basis_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn queue_policy_serializes_jobs_instead_of_rejecting() {
+        let (a, b) = smooth();
+        let fmt = basis_format::by_name("frsz2_21").unwrap();
+        let opts = GmresOptions::default();
+        let one_job = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart);
+        // Budget fits exactly one job at a time.
+        let service = SolverService::new(ServiceConfig {
+            basis_budget_bytes: Some(one_job + one_job / 2),
+            admission: AdmissionPolicy::Queue,
+        });
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let specs: Vec<JobSpec> = (0..3)
+            .map(|_| job("smooth", b.clone(), "frsz2_21", 1e-6))
+            .collect();
+        let results = service.run_batch(&specs);
+        for r in &results {
+            assert!(r.as_ref().unwrap().stats.converged);
+        }
+        assert_eq!(service.basis_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_batch_matches_sequential_single_thread_bit_for_bit() {
+        let (a, b) = smooth();
+        let wide = gen::wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+        let (_, bw) = manufactured_rhs(&wide);
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::Jacobi)
+            .unwrap();
+        service
+            .register_csr("wide", &wide, PrecondSpec::None)
+            .unwrap();
+
+        let mut specs = vec![
+            job("smooth", b.clone(), "frsz2_21", 1e-8),
+            job("smooth", b.clone(), "float64", 1e-10),
+            job("smooth", b, "frsz2_ab", 1e-6),
+            {
+                let mut s = JobSpec::new("wide", bw);
+                s.basis = BasisSelection::Adaptive;
+                s.opts.target_rrn = 1e-10;
+                s.opts.restart = 30;
+                s.opts.max_iters = 1200;
+                s
+            },
+        ];
+        // Sequential reference: one job at a time, single-threaded.
+        let reference: Vec<SolveResult> = specs.iter().map(|s| service.solve(s).unwrap()).collect();
+        // Concurrent: all jobs at once, two workers each.
+        for s in &mut specs {
+            s.threads = 2;
+        }
+        let concurrent = service.run_batch(&specs);
+        for (r, c) in reference.iter().zip(&concurrent) {
+            let c = c.as_ref().unwrap();
+            assert_eq!(r.stats.iterations, c.stats.iterations);
+            assert_eq!(r.stats.format_trajectory, c.stats.format_trajectory);
+            assert_eq!(r.history.len(), c.history.len());
+            for (p, q) in r.history.iter().zip(&c.history) {
+                assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+            }
+            for (u, v) in r.x.iter().zip(&c.x) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_telemetry_matches_the_executed_trajectories() {
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let mut specs = vec![
+            job("smooth", b.clone(), "frsz2_21", 1e-8),
+            job("smooth", b, "float64", 1e-10),
+        ];
+        for s in &mut specs {
+            s.opts.restart = 20; // force several cycles → several events
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let results = service.run_batch_streaming(&specs, tx);
+        let events: Vec<JobEvent> = rx.try_iter().collect();
+        for (job_idx, result) in results.iter().enumerate() {
+            let result = result.as_ref().unwrap();
+            assert!(result.stats.converged);
+            let mine: Vec<&JobEvent> = events.iter().filter(|e| e.job == job_idx).collect();
+            // One event per executed cycle, in cycle order, naming the
+            // format the cycle ran in.
+            assert_eq!(mine.len(), result.stats.restarts);
+            for (k, e) in mine.iter().enumerate() {
+                assert_eq!(e.cycle.cycle, k);
+                assert_eq!(e.cycle.format, result.stats.format_trajectory[k]);
+            }
+            assert!(mine.len() > 1, "restart 20 must take multiple cycles");
+        }
+    }
+
+    #[test]
+    fn recommended_basis_tracks_the_target() {
+        let service = SolverService::with_defaults();
+        let (a, _) = smooth();
+        let info = service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        // The default 1e-12 target sits below every compressed floor.
+        assert_eq!(info.recommended_basis, "float64");
+        assert_eq!(
+            service.recommended_basis("smooth", 1e-2, 100).unwrap(),
+            "frsz2_16"
+        );
+        assert_eq!(
+            service.recommended_basis("smooth", 1e-6, 100).unwrap(),
+            "frsz2_32"
+        );
+    }
+}

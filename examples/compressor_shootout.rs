@@ -3,6 +3,9 @@
 //! (the Table II comparison as a library-level API tour).
 //!
 //! Run with: `cargo run --release --example compressor_shootout`
+//!
+//! Pass `--quiet` to drop the wall-clock throughput column — the
+//! remaining output is deterministic, so runs diff cleanly.
 
 use frsz2_repro::frsz2::Frsz2Config;
 use frsz2_repro::lossy::cast::{CastF16, CastF32};
@@ -11,6 +14,7 @@ use frsz2_repro::lossy::{registry, Compressor};
 use std::time::Instant;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
     // Unit-norm uncorrelated vector: what CB-GMRES actually stores.
     let n = 64 * 1024;
     let mut data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.618_033).sin()).collect();
@@ -30,10 +34,14 @@ fn main() {
         )));
     }
 
-    println!(
-        "{:<16} {:>12} {:>12} {:>14}",
-        "codec", "bits/value", "max |err|", "roundtrip MB/s"
-    );
+    if quiet {
+        println!("{:<16} {:>12} {:>12}", "codec", "bits/value", "max |err|");
+    } else {
+        println!(
+            "{:<16} {:>12} {:>12} {:>14}",
+            "codec", "bits/value", "max |err|", "roundtrip MB/s"
+        );
+    }
     for codec in &codecs {
         let mut out = vec![0.0; n];
         let t = Instant::now();
@@ -44,13 +52,22 @@ fn main() {
             .zip(&out)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        println!(
-            "{:<16} {:>12.1} {:>12.2e} {:>14.0}",
-            codec.name(),
-            bits as f64 / n as f64,
-            max_err,
-            n as f64 * 8.0 / dt / 1e6
-        );
+        if quiet {
+            println!(
+                "{:<16} {:>12.1} {:>12.2e}",
+                codec.name(),
+                bits as f64 / n as f64,
+                max_err,
+            );
+        } else {
+            println!(
+                "{:<16} {:>12.1} {:>12.2e} {:>14.0}",
+                codec.name(),
+                bits as f64 / n as f64,
+                max_err,
+                n as f64 * 8.0 / dt / 1e6
+            );
+        }
     }
     println!(
         "\nNote the rate/quality frontier: frsz2_32 keeps ~1e-9 error at 33 bits/value \

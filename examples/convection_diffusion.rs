@@ -3,6 +3,10 @@
 //! basis trades bandwidth against convergence (Figs. 5/8 in miniature).
 //!
 //! Run with: `cargo run --release --example convection_diffusion`
+//!
+//! Pass `--quiet` to drop the wall-clock column — every remaining
+//! column is deterministic (bit-identical at any thread count), so
+//! runs diff cleanly.
 
 use frsz2_repro::frsz2::{Frsz2Config, Frsz2Store};
 use frsz2_repro::krylov::{gmres, gmres_with, GmresOptions, Identity};
@@ -11,6 +15,7 @@ use frsz2_repro::spla::dense::manufactured_rhs;
 use frsz2_repro::spla::suite;
 
 fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
     let m = suite::build("atmosmodd", 0.6).expect("suite matrix");
     let a = m.matrix;
     let (_, b) = manufactured_rhs(&a);
@@ -25,20 +30,34 @@ fn main() {
         a.rows(),
         a.nnz()
     );
-    println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>10}",
-        "format", "iterations", "final RRN", "bits/value", "wall [s]"
-    );
-
-    let report = |format: &str, r: &frsz2_repro::krylov::SolveResult| {
+    if quiet {
         println!(
-            "{:<10} {:>10} {:>12.2e} {:>12.0} {:>10.2}",
-            format,
-            r.stats.iterations,
-            r.stats.final_rrn,
-            r.stats.basis_bits_per_value,
-            r.stats.wall_time.as_secs_f64()
+            "{:<10} {:>10} {:>12} {:>12}",
+            "format", "iterations", "final RRN", "bits/value"
         );
+    } else {
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>10}",
+            "format", "iterations", "final RRN", "bits/value", "wall [s]"
+        );
+    }
+
+    let report = move |format: &str, r: &frsz2_repro::krylov::SolveResult| {
+        if quiet {
+            println!(
+                "{:<10} {:>10} {:>12.2e} {:>12.0}",
+                format, r.stats.iterations, r.stats.final_rrn, r.stats.basis_bits_per_value,
+            );
+        } else {
+            println!(
+                "{:<10} {:>10} {:>12.2e} {:>12.0} {:>10.2}",
+                format,
+                r.stats.iterations,
+                r.stats.final_rrn,
+                r.stats.basis_bits_per_value,
+                r.stats.wall_time.as_secs_f64()
+            );
+        }
     };
 
     report(

@@ -1,0 +1,167 @@
+//! The solver-as-a-service walkthrough: register operators once, run
+//! mixed-format jobs concurrently with streaming telemetry, verify
+//! bit-identity against sequential runs, and watch admission control
+//! reject an over-budget job with a typed error.
+//!
+//! Run with: `cargo run --release --example solver_service`
+//!
+//! Pass `--quiet` to drop the wall-clock lines — every remaining line
+//! is deterministic (bit-identical at any thread count), so runs diff
+//! cleanly.
+
+use frsz2_repro::solver_service::{
+    estimated_basis_bytes, AdmissionPolicy, BasisSelection, JobSpec, PrecondSpec, ServiceConfig,
+    ServiceError, SolverService,
+};
+use frsz2_repro::spla::dense::manufactured_rhs;
+use frsz2_repro::spla::gen;
+use std::time::Instant;
+
+fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+
+    // ------------------------------------------------------------------
+    // 1. Register operators once. Registration caches the expensive
+    //    analysis: sparse-format selection, row statistics, and the
+    //    factorized preconditioner.
+    // ------------------------------------------------------------------
+    let service = SolverService::with_defaults();
+    let smooth = gen::conv_diff_3d(12, 12, 12, [0.3, 0.2, 0.1], 0.3);
+    let wide = gen::wide_range_conv_diff(7, 7, 7, 24, 0x5202);
+    let (_, b_smooth) = manufactured_rhs(&smooth);
+    let (_, b_wide) = manufactured_rhs(&wide);
+
+    println!("== registered operators ==");
+    for (name, a, precond) in [
+        ("smooth", &smooth, PrecondSpec::Jacobi),
+        ("wide", &wide, PrecondSpec::None),
+    ] {
+        let info = service.register_csr(name, a, precond).expect("register");
+        println!(
+            "{:<8} {:>6} rows {:>7} nnz  format={:<12} precond={:<8} \
+             row len mean {:.2} max {}  recommended basis: {}",
+            info.name,
+            info.rows,
+            info.nnz,
+            info.sparse_format,
+            info.preconditioner,
+            info.row_stats.mean,
+            info.row_stats.max,
+            info.recommended_basis,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. A mixed batch: fixed rungs, the per-block adaptive store, the
+    //    auto pick, and the escalating adaptive driver.
+    // ------------------------------------------------------------------
+    let job = |op: &str, b: &[f64], basis: BasisSelection, target: f64, threads: usize| {
+        let mut spec = JobSpec::new(op, b.to_vec());
+        spec.basis = basis;
+        spec.opts.target_rrn = target;
+        spec.threads = threads;
+        if op == "wide" {
+            spec.opts.restart = 30;
+            spec.opts.max_iters = 1200;
+        }
+        spec
+    };
+    let fixed = |name: &str| BasisSelection::Fixed(name.into());
+    let batch = vec![
+        job("smooth", &b_smooth, fixed("frsz2_21"), 1e-3, 2),
+        job("smooth", &b_smooth, fixed("float64"), 1e-10, 2),
+        job("smooth", &b_smooth, fixed("frsz2_ab"), 1e-6, 2),
+        job("smooth", &b_smooth, BasisSelection::Auto, 1e-3, 2),
+        job("wide", &b_wide, BasisSelection::Adaptive, 1e-10, 2),
+    ];
+
+    // Sequential single-threaded reference first.
+    let t = Instant::now();
+    let reference: Vec<_> = batch
+        .iter()
+        .map(|spec| {
+            let mut spec = spec.clone();
+            spec.threads = 1;
+            service.solve(&spec).expect("reference solve")
+        })
+        .collect();
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    // Concurrent batch with per-cycle telemetry through a channel.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = Instant::now();
+    let results = service.run_batch_streaming(&batch, tx);
+    let concurrent_s = t.elapsed().as_secs_f64();
+    let events: Vec<_> = rx.try_iter().collect();
+
+    println!("\n== concurrent batch ({} jobs) ==", batch.len());
+    for (i, (spec, result)) in batch.iter().zip(&results).enumerate() {
+        let r = result.as_ref().expect("batch solve");
+        let trajectory = r.stats.format_trajectory.join(" → ");
+        println!(
+            "job {i} on {:<7} {:<28} {:>5} iters  rrn {:.2e}  [{}]",
+            spec.operator,
+            format!("({:?})", spec.basis),
+            r.stats.iterations,
+            r.stats.final_rrn,
+            trajectory,
+        );
+    }
+    println!(
+        "telemetry: {} cycle events streamed while jobs ran (cycle, residual, format, \
+         basis traffic)",
+        events.len()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The headline guarantee: concurrent results are bit-identical
+    //    to the sequential single-threaded reference.
+    // ------------------------------------------------------------------
+    let mut identical = true;
+    for (r, c) in reference.iter().zip(&results) {
+        let c = c.as_ref().unwrap();
+        identical &= r.x.len() == c.x.len()
+            && r.x
+                .iter()
+                .zip(&c.x)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && r.stats.format_trajectory == c.stats.format_trajectory;
+    }
+    assert!(identical, "concurrent batch diverged from sequential runs");
+    println!("bit-identity: concurrent == sequential-1-thread for every job ✓");
+    if !quiet {
+        println!("wall: sequential {sequential_s:.2} s, concurrent {concurrent_s:.2} s");
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Admission control: a budget below the float64 job's basis
+    //    reservation rejects it with a typed error — never a panic,
+    //    never an OOM.
+    // ------------------------------------------------------------------
+    let f64_cost = estimated_basis_bytes(
+        frsz2_repro::krylov::basis_format::by_name("float64")
+            .expect("float64")
+            .as_ref(),
+        smooth.rows(),
+        frsz2_repro::krylov::GmresOptions::default().restart,
+    );
+    let budgeted = SolverService::new(ServiceConfig {
+        basis_budget_bytes: Some(f64_cost - 1),
+        admission: AdmissionPolicy::Reject,
+    });
+    budgeted
+        .register_csr("smooth", &smooth, PrecondSpec::Jacobi)
+        .expect("register");
+    println!("\n== admission control (budget {} bytes) ==", f64_cost - 1);
+    match budgeted.solve(&job("smooth", &b_smooth, fixed("float64"), 1e-10, 1)) {
+        Err(e @ ServiceError::BudgetExceeded { .. }) => println!("float64 job rejected: {e}"),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    let r = budgeted
+        .solve(&job("smooth", &b_smooth, fixed("frsz2_21"), 1e-3, 1))
+        .expect("compressed job fits");
+    println!(
+        "frsz2_21 job admitted under the same budget and converged ({} iters, rrn {:.2e})",
+        r.stats.iterations, r.stats.final_rrn
+    );
+}

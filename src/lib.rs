@@ -16,10 +16,16 @@
 //!   model standing in for the paper's CUDA kernels.
 //! - [`krylov`] — restarted GMRES / CB-GMRES with pluggable Krylov basis
 //!   storage.
+//! - [`solver_service`] — long-lived concurrent solver front end with
+//!   operator caching, admission control and per-cycle telemetry.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how the crates fit
+//! together.
 
 pub use frsz2;
 pub use gpusim;
 pub use krylov;
 pub use lossy;
 pub use numfmt;
+pub use solver_service;
 pub use spla;
