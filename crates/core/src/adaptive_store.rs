@@ -298,6 +298,70 @@ impl ColumnStorage for Frsz2AdaptiveStore {
         }
     }
 
+    /// Multi-column, multi-RHS fused dots: each block is decoded once
+    /// (at its own bit length) for all `nw` interleaved vectors.
+    /// Bit-identical to `nw` independent
+    /// [`Frsz2AdaptiveStore::dots_chunk`] calls on deinterleaved
+    /// vectors.
+    fn dots_many_chunk(&self, k: usize, row_start: usize, ws: &[f64], nw: usize, out: &mut [f64]) {
+        debug_assert!(k <= self.cols);
+        debug_assert!(row_start.is_multiple_of(BS));
+        debug_assert_eq!(ws.len() % nw, 0);
+        let len = ws.len() / nw;
+        let first_block = row_start / BS;
+        out[..k * nw].fill(0.0);
+        let mut off = 0usize;
+        while off < len {
+            let count = BS.min(len - off);
+            let b = first_block + off / BS;
+            for j in 0..k {
+                let (l, bw, emax) = self.block_span(j, b);
+                kernels::dot_many_block(
+                    l,
+                    bw,
+                    emax,
+                    &ws[off * nw..],
+                    nw,
+                    count,
+                    &mut out[j * nw..(j + 1) * nw],
+                );
+            }
+            off += count;
+        }
+    }
+
+    /// Multi-column, multi-RHS fused update with the accessor's
+    /// per-`(column, vector)` zero-coefficient skip. Bit-identical to
+    /// `nw` independent [`Frsz2AdaptiveStore::gemv_chunk`] calls.
+    fn gemv_many_chunk(
+        &self,
+        k: usize,
+        row_start: usize,
+        alphas: &[f64],
+        nw: usize,
+        ws: &mut [f64],
+    ) {
+        debug_assert!(k <= self.cols);
+        debug_assert!(row_start.is_multiple_of(BS));
+        debug_assert_eq!(ws.len() % nw, 0);
+        let len = ws.len() / nw;
+        let first_block = row_start / BS;
+        let mut off = 0usize;
+        while off < len {
+            let count = BS.min(len - off);
+            let b = first_block + off / BS;
+            for j in 0..k {
+                let al = &alphas[j * nw..(j + 1) * nw];
+                if al.iter().all(|&a| a == 0.0) {
+                    continue;
+                }
+                let (l, bw, emax) = self.block_span(j, b);
+                kernels::axpy_many_block(l, bw, emax, al, &mut ws[off * nw..], nw, count);
+            }
+            off += count;
+        }
+    }
+
     /// A variable-rate store has no single column size; report the
     /// across-column average of the *used* bytes (code words + block
     /// exponents + one bit-length byte per block) — the figure the

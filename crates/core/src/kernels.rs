@@ -476,6 +476,229 @@ pub(crate) fn gemv_chunk(
 }
 
 // ---------------------------------------------------------------------
+// Multi-RHS drivers (block solves: one decode sweep, `nw` vectors).
+// ---------------------------------------------------------------------
+
+/// Rows per cache sub-window of the multi-RHS drivers, in blocks. The
+/// accumulators (`dots`) or the interleaved vectors (`gemv`) of one
+/// sub-window stay resident while all `k` columns stream past, so the
+/// compressed basis is still decoded exactly once per sweep but the
+/// `k × nw` running sums are reloaded only once per sub-window instead
+/// of once per block. Pure access reordering — accumulation order per
+/// `(column, vector)` is untouched, so bits don't depend on it.
+const MANY_SUBWINDOW_BLOCKS: usize = 32;
+
+/// Vectors per stack-accumulator tile of the multi-RHS drivers. Splits
+/// very wide blocks into register-friendly strips; per-`(j, t)`
+/// accumulation order is again unaffected.
+const MANY_NW_TILE: usize = 64;
+
+/// Fused decompress-and-dots over one block against `nw` interleaved
+/// vectors: `accs[t] += Σ_i vᵢ · wrows[i·nw + t]` for `t <
+/// accs.len()`, each accumulator in row order (bit-compatible with
+/// decode-then-dot per vector). `wrows` starts at the block's first
+/// row, already offset to the accumulator tile's first vector.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dot_many_block_le32<const L: u32>(
+    l_rt: u32,
+    wpb: usize,
+    bw: &[u32],
+    emax: u32,
+    wrows: &[f64],
+    nw: usize,
+    count: usize,
+    accs: &mut [f64],
+) {
+    let l = resolve_l::<L>(l_rt);
+    let tl = accs.len();
+    for_each_code::<L>(l, wpb, bw, count, |i, c| {
+        let v = decode_code(c, emax, l);
+        let row = &wrows[i * nw..i * nw + tl];
+        for (a, &wv) in accs.iter_mut().zip(row) {
+            *a += v * wv;
+        }
+    });
+}
+
+/// Fused decompress-and-axpy over one block into `nw` interleaved
+/// vectors: `wrows[i·nw + t] += al[t] · vᵢ`, skipping `t` with
+/// `al[t] == 0.0` (signed-zero preservation, matching
+/// [`gemv_chunk`]'s contract per vector).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn axpy_many_block_le32<const L: u32>(
+    l_rt: u32,
+    wpb: usize,
+    bw: &[u32],
+    emax: u32,
+    al: &[f64],
+    wrows: &mut [f64],
+    nw: usize,
+    count: usize,
+) {
+    let l = resolve_l::<L>(l_rt);
+    let tl = al.len();
+    for_each_code::<L>(l, wpb, bw, count, |i, c| {
+        let v = decode_code(c, emax, l);
+        let row = &mut wrows[i * nw..i * nw + tl];
+        for (wv, &a) in row.iter_mut().zip(al) {
+            if a != 0.0 {
+                *wv += a * v;
+            }
+        }
+    });
+}
+
+/// Multi-column, multi-RHS fused dots:
+/// `out[j·nw + t] = Σ_i V[row_start + i, j] · ws[i·nw + t]` — the
+/// block-Arnoldi projection `H = VᵀW` over one row chunk, with `ws`
+/// holding `nw` vectors interleaved row-major. Every stored block is
+/// decoded once for all `nw` vectors and each `out[j·nw + t]`
+/// accumulates in row order with one accumulator — bit-identical to
+/// `nw` independent [`dots_chunk`] calls on deinterleaved vectors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dots_many_chunk(
+    cfg: Frsz2Config,
+    words: &[u32],
+    exps: &[u32],
+    col_words: usize,
+    col_blocks: usize,
+    k: usize,
+    row_start: usize,
+    ws: &[f64],
+    nw: usize,
+    out: &mut [f64],
+) {
+    let bs = cfg.block_size();
+    let l = cfg.bits();
+    let wpb = cfg.words_per_block();
+    debug_assert_eq!(row_start % bs, 0);
+    debug_assert_eq!(ws.len() % nw, 0);
+    let len = ws.len() / nw;
+    let first_block = row_start / bs;
+    out[..k * nw].fill(0.0);
+    let sw_rows = MANY_SUBWINDOW_BLOCKS * bs;
+    for t0 in (0..nw).step_by(MANY_NW_TILE) {
+        let tl = MANY_NW_TILE.min(nw - t0);
+        let mut row0 = 0usize;
+        while row0 < len {
+            let sw_len = sw_rows.min(len - row0);
+            let sb = first_block + row0 / bs;
+            for j in 0..k {
+                let mut accs = [0.0f64; MANY_NW_TILE];
+                accs[..tl].copy_from_slice(&out[j * nw + t0..j * nw + t0 + tl]);
+                let mut off = 0usize;
+                while off < sw_len {
+                    let count = bs.min(sw_len - off);
+                    let b = sb + off / bs;
+                    let emax = exps[j * col_blocks + b];
+                    let base = j * col_words + b * wpb;
+                    let bw = &words[base..base + wpb];
+                    let wrows = &ws[(row0 + off) * nw + t0..];
+                    if l <= 32 {
+                        dispatch_l!(
+                            l,
+                            dot_many_block_le32(
+                                l,
+                                wpb,
+                                bw,
+                                emax,
+                                wrows,
+                                nw,
+                                count,
+                                &mut accs[..tl]
+                            )
+                        );
+                    } else {
+                        for i in 0..count {
+                            let v = decode_code(wide_code(bw, i, l), emax, l);
+                            for (a, &wv) in accs[..tl].iter_mut().zip(&wrows[i * nw..i * nw + tl]) {
+                                *a += v * wv;
+                            }
+                        }
+                    }
+                    off += count;
+                }
+                out[j * nw + t0..j * nw + t0 + tl].copy_from_slice(&accs[..tl]);
+            }
+            row0 += sw_len;
+        }
+    }
+}
+
+/// Multi-column, multi-RHS fused update:
+/// `ws[i·nw + t] += Σ_j alphas[j·nw + t] · V[row_start + i, j]` — the
+/// block projection update `W ← W − VH` (callers pass `alphas = −H`).
+/// Every stored block is decoded once for all `nw` vectors; per
+/// element of each vector, columns apply one at a time in ascending
+/// `j` and `(j, t)` pairs with a zero coefficient are skipped —
+/// bit-identical to `nw` independent [`gemv_chunk`] calls on
+/// deinterleaved vectors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemv_many_chunk(
+    cfg: Frsz2Config,
+    words: &[u32],
+    exps: &[u32],
+    col_words: usize,
+    col_blocks: usize,
+    k: usize,
+    row_start: usize,
+    alphas: &[f64],
+    nw: usize,
+    ws: &mut [f64],
+) {
+    let bs = cfg.block_size();
+    let l = cfg.bits();
+    let wpb = cfg.words_per_block();
+    debug_assert_eq!(row_start % bs, 0);
+    debug_assert_eq!(ws.len() % nw, 0);
+    let len = ws.len() / nw;
+    let first_block = row_start / bs;
+    let sw_rows = MANY_SUBWINDOW_BLOCKS * bs;
+    for t0 in (0..nw).step_by(MANY_NW_TILE) {
+        let tl = MANY_NW_TILE.min(nw - t0);
+        let mut row0 = 0usize;
+        while row0 < len {
+            let sw_len = sw_rows.min(len - row0);
+            let sb = first_block + row0 / bs;
+            for j in 0..k {
+                let al = &alphas[j * nw + t0..j * nw + t0 + tl];
+                if al.iter().all(|&a| a == 0.0) {
+                    continue;
+                }
+                let mut off = 0usize;
+                while off < sw_len {
+                    let count = bs.min(sw_len - off);
+                    let b = sb + off / bs;
+                    let emax = exps[j * col_blocks + b];
+                    let base = j * col_words + b * wpb;
+                    let bw = &words[base..base + wpb];
+                    let wrows = &mut ws[(row0 + off) * nw + t0..];
+                    if l <= 32 {
+                        dispatch_l!(
+                            l,
+                            axpy_many_block_le32(l, wpb, bw, emax, al, wrows, nw, count)
+                        );
+                    } else {
+                        for i in 0..count {
+                            let v = decode_code(wide_code(bw, i, l), emax, l);
+                            for (wv, &a) in wrows[i * nw..i * nw + tl].iter_mut().zip(al) {
+                                if a != 0.0 {
+                                    *wv += a * v;
+                                }
+                            }
+                        }
+                    }
+                    off += count;
+                }
+            }
+            row0 += sw_len;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Per-block entry points (variable-rate stores pick `l` per block).
 // ---------------------------------------------------------------------
 
@@ -517,6 +740,69 @@ pub(crate) fn axpy_block(l: u32, bw: &[u32], emax: u32, alpha: f64, w: &mut [f64
     } else {
         for (i, wv) in w.iter_mut().enumerate() {
             *wv += alpha * decode_code(wide_code(bw, i, l), emax, l);
+        }
+    }
+}
+
+/// Fused decompress-and-dots over one block at a per-block bit length
+/// against `nw` interleaved vectors: `accs[t] += Σ_i vᵢ ·
+/// wrows[i·nw + t]`, each accumulator in row order (bit-compatible
+/// with [`dot_block`] per deinterleaved vector). `wrows` starts at the
+/// block's first row, pre-offset to the accumulator tile's vector 0.
+#[inline]
+pub(crate) fn dot_many_block(
+    l: u32,
+    bw: &[u32],
+    emax: u32,
+    wrows: &[f64],
+    nw: usize,
+    count: usize,
+    accs: &mut [f64],
+) {
+    if l <= 32 {
+        dispatch_l!(
+            l,
+            dot_many_block_le32(l, bw.len(), bw, emax, wrows, nw, count, accs)
+        );
+    } else {
+        let tl = accs.len();
+        for i in 0..count {
+            let v = decode_code(wide_code(bw, i, l), emax, l);
+            for (a, &wv) in accs.iter_mut().zip(&wrows[i * nw..i * nw + tl]) {
+                *a += v * wv;
+            }
+        }
+    }
+}
+
+/// Fused decompress-and-axpy over one block at a per-block bit length
+/// into `nw` interleaved vectors: `wrows[i·nw + t] += al[t] · vᵢ`,
+/// skipping zero coefficients (bit-compatible with [`axpy_block`] per
+/// deinterleaved vector).
+#[inline]
+pub(crate) fn axpy_many_block(
+    l: u32,
+    bw: &[u32],
+    emax: u32,
+    al: &[f64],
+    wrows: &mut [f64],
+    nw: usize,
+    count: usize,
+) {
+    if l <= 32 {
+        dispatch_l!(
+            l,
+            axpy_many_block_le32(l, bw.len(), bw, emax, al, wrows, nw, count)
+        );
+    } else {
+        let tl = al.len();
+        for i in 0..count {
+            let v = decode_code(wide_code(bw, i, l), emax, l);
+            for (wv, &a) in wrows[i * nw..i * nw + tl].iter_mut().zip(al) {
+                if a != 0.0 {
+                    *wv += a * v;
+                }
+            }
         }
     }
 }

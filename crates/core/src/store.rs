@@ -160,6 +160,53 @@ impl ColumnStorage for Frsz2Store {
         );
     }
 
+    /// Multi-column, multi-RHS fused dots for block solves: every
+    /// compressed block is decoded **once** for all `nw` interleaved
+    /// vectors. Bit-identical to `nw` independent
+    /// [`Frsz2Store::dots_chunk`] calls on deinterleaved vectors.
+    fn dots_many_chunk(&self, k: usize, row_start: usize, ws: &[f64], nw: usize, out: &mut [f64]) {
+        debug_assert!(k <= self.cols);
+        kernels::dots_many_chunk(
+            self.cfg,
+            &self.words,
+            &self.exps,
+            self.col_words,
+            self.col_blocks,
+            k,
+            row_start,
+            ws,
+            nw,
+            out,
+        );
+    }
+
+    /// Multi-column, multi-RHS fused update: one decode of each
+    /// compressed block for all `nw` interleaved vectors, zero
+    /// coefficients skipped per `(column, vector)`. Bit-identical to
+    /// `nw` independent [`Frsz2Store::gemv_chunk`] calls.
+    fn gemv_many_chunk(
+        &self,
+        k: usize,
+        row_start: usize,
+        alphas: &[f64],
+        nw: usize,
+        ws: &mut [f64],
+    ) {
+        debug_assert!(k <= self.cols);
+        kernels::gemv_many_chunk(
+            self.cfg,
+            &self.words,
+            &self.exps,
+            self.col_words,
+            self.col_blocks,
+            k,
+            row_start,
+            alphas,
+            nw,
+            ws,
+        );
+    }
+
     fn column_bytes(&self) -> usize {
         (self.col_words + self.col_blocks) * 4
     }

@@ -154,6 +154,84 @@ impl<S: ColumnStorage> Basis<S> {
         self.axpys(y.len(), y, out);
     }
 
+    /// Block-Arnoldi projection `out[j·nw + t] = V[:, j]ᵀ w_t` for `j
+    /// in 0..k`, `t in 0..nw`, with the `nw` vectors interleaved
+    /// row-major in `ws` (vector `t` at stride `nw`). One parallel
+    /// decode sweep of the stored columns serves **all** `nw` vectors
+    /// through the format's fused [`ColumnStorage::dots_many_chunk`];
+    /// per-chunk partials reduce serially in chunk order, so every
+    /// `out[j·nw + t]` is bit-identical to [`Basis::dots_with`] on the
+    /// deinterleaved vector `t`, at any thread count.
+    pub fn dots_many_with(
+        &self,
+        k: usize,
+        ws: &[f64],
+        nw: usize,
+        out: &mut [f64],
+        scratch: &mut Vec<f64>,
+    ) {
+        assert!(k <= self.cols());
+        assert!(nw >= 1);
+        assert_eq!(ws.len(), self.rows() * nw);
+        assert!(out.len() >= k * nw);
+        if k == 0 {
+            return;
+        }
+        let n = self.rows();
+        let chunk = self.chunk;
+        let n_chunks = n.div_ceil(chunk);
+        if scratch.len() < n_chunks * k * nw {
+            scratch.resize(n_chunks * k * nw, 0.0);
+        }
+        let store = &self.store;
+        let partials = &mut scratch[..n_chunks * k * nw];
+        partials
+            .par_chunks_mut(k * nw)
+            .enumerate()
+            .for_each(|(c, slot)| {
+                let start = c * chunk;
+                let len = chunk.min(n - start);
+                store.dots_many_chunk(k, start, &ws[start * nw..(start + len) * nw], nw, slot);
+            });
+        for jt in 0..k * nw {
+            out[jt] = (0..n_chunks).map(|c| partials[c * k * nw + jt]).sum();
+        }
+    }
+
+    /// Block projection update `w_t ← w_t + Σ_j alphas[j·nw + t] ·
+    /// V[:, j]` over `nw` interleaved vectors (callers pass `alphas =
+    /// −H`). One parallel decode sweep through the format's fused
+    /// [`ColumnStorage::gemv_many_chunk`]; each vector's result is
+    /// bit-identical to [`Basis::axpys`] with its coefficient column,
+    /// at any thread count.
+    pub fn axpys_many(&self, k: usize, alphas: &[f64], ws: &mut [f64], nw: usize) {
+        assert!(k <= self.cols());
+        assert!(nw >= 1);
+        assert!(alphas.len() >= k * nw);
+        assert_eq!(ws.len(), self.rows() * nw);
+        if k == 0 {
+            return;
+        }
+        let chunk = self.chunk;
+        let store = &self.store;
+        ws.par_chunks_mut(chunk * nw)
+            .enumerate()
+            .for_each(|(c, wc)| {
+                store.gemv_many_chunk(k, c * chunk, &alphas[..k * nw], nw, wc);
+            });
+    }
+
+    /// Batched solution update `w_t = Σ_j ys[j·nw + t] · V[:, j]` —
+    /// `nw` per-RHS [`Basis::combine`] calls in one decode sweep.
+    /// Zero coefficients are skipped by the underlying kernels, so a
+    /// vector whose coefficient column is zero-padded (a right-hand
+    /// side that used fewer Krylov directions) gets exactly the bits
+    /// of a shorter per-vector combine.
+    pub fn combine_many(&self, k: usize, ys: &[f64], outs: &mut [f64], nw: usize) {
+        outs.iter_mut().for_each(|v| *v = 0.0);
+        self.axpys_many(k, ys, outs, nw);
+    }
+
     /// Bytes streamed from storage when reading one full column.
     pub fn column_bytes(&self) -> usize {
         self.store.column_bytes()

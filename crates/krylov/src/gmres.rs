@@ -122,7 +122,7 @@ pub struct SolveResult {
 
 /// Construct a Givens rotation `(c, s)` annihilating `b` against `a`.
 #[inline]
-fn givens(a: f64, b: f64) -> (f64, f64) {
+pub(crate) fn givens(a: f64, b: f64) -> (f64, f64) {
     if b == 0.0 {
         (1.0, 0.0)
     } else {
@@ -140,23 +140,23 @@ fn givens(a: f64, b: f64) -> (f64, f64) {
 /// (guarded by the counting allocator in `tests/ortho_alloc_guard.rs`).
 pub(crate) struct Workspace {
     pub(crate) r: Vec<f64>,
-    w: Vec<f64>,
-    z: Vec<f64>,
-    vj: Vec<f64>,
-    h: Vec<f64>,
-    u: Vec<f64>,
-    neg: Vec<f64>,
-    hess: Vec<f64>, // column-major, ld = m+1
-    cs: Vec<f64>,
-    sn: Vec<f64>,
-    g: Vec<f64>,
-    y: Vec<f64>,
+    pub(crate) w: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) vj: Vec<f64>,
+    pub(crate) h: Vec<f64>,
+    pub(crate) u: Vec<f64>,
+    pub(crate) neg: Vec<f64>,
+    pub(crate) hess: Vec<f64>, // column-major, ld = m+1
+    pub(crate) cs: Vec<f64>,
+    pub(crate) sn: Vec<f64>,
+    pub(crate) g: Vec<f64>,
+    pub(crate) y: Vec<f64>,
     /// Flat `n_chunks × k` scratch for the orthogonalization partials.
     /// Pre-sized for the worst case (`k = m + 1` columns over the
     /// smallest possible chunking), so `dots_with` never grows it.
-    dot_partials: Vec<f64>,
-    m: usize,
-    ld: usize,
+    pub(crate) dot_partials: Vec<f64>,
+    pub(crate) m: usize,
+    pub(crate) ld: usize,
 }
 
 impl Workspace {

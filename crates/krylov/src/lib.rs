@@ -20,12 +20,24 @@
 //! along `frsz2_16 → frsz2_21 → frsz2_32 → float64` whenever the
 //! explicit restart residual shows stagnation or an implicit/explicit
 //! gap — one solver, every storage backend, no false convergence.
+//!
+//! Many right-hand sides against one operator go through [`block`]:
+//! [`block::block_gmres`] grows **one shared compressed Krylov space**
+//! for the whole block — each Arnoldi expansion appends b columns,
+//! orthogonalized in a single decode sweep of the basis via the
+//! multi-vector fused kernels — and batches every operator touch
+//! through `spla`'s `spmm_into`, so one matrix sweep serves the whole
+//! block. Convergence, Hessenberg/Givens bookkeeping, and histories
+//! stay per-RHS; converged RHS deflate early while the space keeps
+//! expanding for the rest. At width 1 the driver delegates to
+//! [`gmres::gmres_with`], bit for bit.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod basis;
 pub mod basis_format;
+pub mod block;
 pub mod diagnostics;
 pub mod gmres;
 pub mod precond;
@@ -33,6 +45,10 @@ pub mod precond;
 pub use adaptive::{adaptive_gmres, adaptive_gmres_observed, AdaptiveOptions};
 pub use basis::Basis;
 pub use basis_format::{auto_basis, gmres_dyn_observed, BasisFormat, ESCALATION_LADDER};
+pub use block::{
+    block_gmres, block_gmres_dyn, block_gmres_dyn_observed, block_gmres_with, BlockBasis,
+    BlockSolveResult,
+};
 pub use diagnostics::{history_summary, HistorySummary};
 pub use gmres::{
     gmres, gmres_with, CycleEvent, GmresOptions, HistoryPoint, SolveResult, SolveStats,

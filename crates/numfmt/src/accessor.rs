@@ -210,6 +210,100 @@ pub trait ColumnStorage: Send + Sync {
         }
     }
 
+    /// Multi-RHS fused dot products:
+    /// `out[j·nw + t] = Σ_i column_j[row_start + i] · ws[i·nw + t]` for
+    /// every `j < k`, `t < nw` — the block-Arnoldi projection
+    /// `H = VᵀW` over one row chunk. `ws` holds `nw` right-hand vectors
+    /// interleaved row-major (vector `t` at stride `nw`), the layout
+    /// [`SparseMatrix::spmm_into`]-style multi-RHS buffers already use.
+    ///
+    /// The default tiles each column through a stack buffer; block
+    /// formats override so each stored block is decoded **once** for
+    /// all `nw` vectors — the whole point of a block solve: one decode
+    /// sweep of the compressed basis per expansion block, not one per
+    /// right-hand side.
+    ///
+    /// # Bit-identity contract
+    /// `out[j·nw + t]` must accumulate column `j`'s products with
+    /// vector `t` in row order with one accumulator — bit-for-bit what
+    /// [`ColumnStorage::dot_chunk`] would produce on the deinterleaved
+    /// vector `t`.
+    ///
+    /// [`SparseMatrix::spmm_into`]: trait.ColumnStorage.html#method.dots_many_chunk
+    fn dots_many_chunk(&self, k: usize, row_start: usize, ws: &[f64], nw: usize, out: &mut [f64]) {
+        assert!(nw >= 1, "dots_many_chunk needs at least one vector");
+        debug_assert_eq!(ws.len() % nw, 0);
+        let len = ws.len() / nw;
+        let mut tile = [0.0f64; 512];
+        for j in 0..k {
+            let accs = &mut out[j * nw..(j + 1) * nw];
+            accs.fill(0.0);
+            let mut off = 0;
+            while off < len {
+                let t_len = 512.min(len - off);
+                self.read_chunk(j, row_start + off, &mut tile[..t_len]);
+                for (i, &v) in tile[..t_len].iter().enumerate() {
+                    let row = &ws[(off + i) * nw..(off + i) * nw + nw];
+                    for (acc, &wv) in accs.iter_mut().zip(row) {
+                        *acc += v * wv;
+                    }
+                }
+                off += t_len;
+            }
+        }
+    }
+
+    /// Multi-RHS fused update:
+    /// `ws[i·nw + t] += Σ_j alphas[j·nw + t] · column_j[row_start + i]`
+    /// — the block projection update `W ← W − VH` over one row chunk,
+    /// with `ws` interleaved row-major as in
+    /// [`ColumnStorage::dots_many_chunk`]. Callers pass `alphas = −H`.
+    ///
+    /// The default applies per column through a stack tile; block
+    /// formats override so each stored block is decoded once for all
+    /// `nw` vectors.
+    ///
+    /// # Bit-identity contract
+    /// Per element of each vector, column contributions apply one at a
+    /// time in ascending `j` (each addition separately rounded), and a
+    /// `(j, t)` pair with `alphas[j·nw + t] == 0.0` must be skipped
+    /// entirely (a literal `+ 0.0` could flip a signed zero) —
+    /// bit-for-bit what [`ColumnStorage::gemv_chunk`] would produce on
+    /// the deinterleaved vector `t`.
+    fn gemv_many_chunk(
+        &self,
+        k: usize,
+        row_start: usize,
+        alphas: &[f64],
+        nw: usize,
+        ws: &mut [f64],
+    ) {
+        assert!(nw >= 1, "gemv_many_chunk needs at least one vector");
+        debug_assert_eq!(ws.len() % nw, 0);
+        let len = ws.len() / nw;
+        let mut tile = [0.0f64; 512];
+        for j in 0..k {
+            let al = &alphas[j * nw..(j + 1) * nw];
+            if al.iter().all(|&a| a == 0.0) {
+                continue;
+            }
+            let mut off = 0;
+            while off < len {
+                let t_len = 512.min(len - off);
+                self.read_chunk(j, row_start + off, &mut tile[..t_len]);
+                for (i, &v) in tile[..t_len].iter().enumerate() {
+                    let row = &mut ws[(off + i) * nw..(off + i) * nw + nw];
+                    for (wv, &a) in row.iter_mut().zip(al) {
+                        if a != 0.0 {
+                            *wv += a * v;
+                        }
+                    }
+                }
+                off += t_len;
+            }
+        }
+    }
+
     /// Bytes of storage actually occupied by one column, including any
     /// per-block metadata. Drives the memory-traffic model.
     fn column_bytes(&self) -> usize;

@@ -52,6 +52,55 @@ impl JobSpec {
     }
 }
 
+/// One multi-RHS (block) solve job against a registered operator: all
+/// right-hand sides share the operator and run through
+/// [`krylov::block_gmres_dyn`]'s shared-space driver, so every matrix
+/// sweep — and every decode sweep of the shared compressed basis — is
+/// amortized over the block. Admission control charges the basis
+/// reservation for the whole shared space — `width ×` the single-RHS
+/// estimate, exactly the shared basis's `width · (restart+1)` columns.
+#[derive(Clone, Debug)]
+pub struct BlockJobSpec {
+    /// Name of the registered operator to solve against.
+    pub operator: String,
+    /// The right-hand sides (each must match the operator's row count;
+    /// the block width `b` is `rhss.len()`).
+    pub rhss: Vec<Vec<f64>>,
+    /// Per-RHS initial guesses; `None` starts every RHS from zero.
+    pub x0s: Option<Vec<Vec<f64>>>,
+    /// Basis-format selection, applied to every lane.
+    /// [`BasisSelection::Adaptive`] falls back to independent per-RHS
+    /// adaptive solves (each lane may escalate at its own pace, which
+    /// a single shared basis cannot express), still admitted as one
+    /// job at the block-scaled worst case.
+    pub basis: BasisSelection,
+    /// Solver options, applied to every lane.
+    pub opts: GmresOptions,
+    /// Worker threads for this job's pool (same contract as
+    /// [`JobSpec::threads`]: results are bit-identical for any value).
+    pub threads: usize,
+}
+
+impl BlockJobSpec {
+    /// A single-threaded, auto-format block job with default solver
+    /// options.
+    pub fn new(operator: impl Into<String>, rhss: Vec<Vec<f64>>) -> Self {
+        BlockJobSpec {
+            operator: operator.into(),
+            rhss,
+            x0s: None,
+            basis: BasisSelection::Auto,
+            opts: GmresOptions::default(),
+            threads: 1,
+        }
+    }
+
+    /// Block width `b` of this job.
+    pub fn width(&self) -> usize {
+        self.rhss.len()
+    }
+}
+
 /// A per-cycle telemetry event of one job in a batch: the job index
 /// plus the solver's [`CycleEvent`] snapshot (residual, format, basis
 /// traffic).
@@ -60,5 +109,17 @@ pub struct JobEvent {
     /// Index of the job in the submitted batch.
     pub job: usize,
     /// The restart-boundary snapshot.
+    pub cycle: CycleEvent,
+}
+
+/// A per-cycle telemetry event of one right-hand side inside a block
+/// solve: the RHS index plus that lane's [`CycleEvent`] (same boundary
+/// semantics as a single solve — a lane's converged boundary emits no
+/// event).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RhsEvent {
+    /// Index of the right-hand side within the block job.
+    pub rhs: usize,
+    /// The lane's restart-boundary snapshot.
     pub cycle: CycleEvent,
 }

@@ -14,7 +14,11 @@
 //!    one at a time ([`SolverService::solve`]) or as a concurrent batch
 //!    ([`SolverService::run_batch`]). Each job picks a basis format
 //!    ([`BasisSelection`]): a fixed registry name, the accuracy-floor
-//!    `Auto` pick, or the bidirectionally `Adaptive` ladder.
+//!    `Auto` pick, or the bidirectionally `Adaptive` ladder. Many
+//!    right-hand sides against one operator go in as a single
+//!    [`BlockJobSpec`] ([`SolverService::solve_block`]), routed to the
+//!    shared-space block driver so every matrix sweep and every decode
+//!    sweep of the compressed basis is amortized over the whole block.
 //! 3. **Observe** per-cycle telemetry — explicit residual, basis format
 //!    in effect, compressed-basis traffic — through a callback
 //!    ([`SolverService::run_batch_observed`]) or an `mpsc` channel
@@ -37,6 +41,9 @@
 //! is rejected with the typed [`ServiceError::BudgetExceeded`] (policy
 //! [`AdmissionPolicy::Reject`]) or parked until capacity frees
 //! ([`AdmissionPolicy::Queue`]) — the service never OOMs on a burst.
+//! Block jobs are charged per lane: `width ×` the single-RHS estimate
+//! (and `8 · rows · (restart + 1) · width` for the adaptive worst
+//! case), so a 16-RHS job cannot sneak in under a single-solve budget.
 //!
 //! # Example
 //!
@@ -68,7 +75,7 @@ mod service;
 
 pub use admission::AdmissionPolicy;
 pub use error::ServiceError;
-pub use job::{BasisSelection, JobEvent, JobSpec};
+pub use job::{BasisSelection, BlockJobSpec, JobEvent, JobSpec, RhsEvent};
 pub use operator::{OperatorInfo, PrecondSpec};
 pub use service::{
     estimated_adaptive_basis_bytes, estimated_basis_bytes, ServiceConfig, SolverService,

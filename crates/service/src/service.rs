@@ -2,12 +2,12 @@
 
 use crate::admission::{AdmissionPolicy, Ledger};
 use crate::error::ServiceError;
-use crate::job::{BasisSelection, JobEvent, JobSpec};
+use crate::job::{BasisSelection, BlockJobSpec, JobEvent, JobSpec, RhsEvent};
 use crate::operator::{AnalyzedOperator, OperatorInfo, PrecondSpec};
 use krylov::basis_format::{self, BasisFormat};
 use krylov::{
-    adaptive_gmres_observed, gmres_dyn_observed, AdaptiveOptions, CycleEvent, GmresOptions,
-    SolveResult,
+    adaptive_gmres_observed, block_gmres_dyn_observed, gmres_dyn_observed, AdaptiveOptions,
+    BlockSolveResult, CycleEvent, GmresOptions, SolveResult,
 };
 use spla::Csr;
 use std::collections::HashMap;
@@ -26,21 +26,30 @@ pub struct ServiceConfig {
 
 /// Estimated basis reservation of a fixed-format job: one column of
 /// `rows` values at the format's nominal rate (Eq. 3 for FRSZ2), times
-/// the `restart + 1` columns a cycle stores. This is the number
-/// admission control charges against the budget — an a-priori bound,
-/// deliberately computed from the *registry* rate rather than a live
-/// store, so rejection happens before any allocation.
-pub fn estimated_basis_bytes(format: &dyn BasisFormat, rows: usize, restart: usize) -> u64 {
+/// the `restart + 1` columns a cycle stores, times the `width` lanes of
+/// a block job (each RHS keeps its own compressed Krylov lane — pass
+/// `1` for a single-RHS job). This is the number admission control
+/// charges against the budget — an a-priori bound, deliberately
+/// computed from the *registry* rate rather than a live store, so
+/// rejection happens before any allocation.
+pub fn estimated_basis_bytes(
+    format: &dyn BasisFormat,
+    rows: usize,
+    restart: usize,
+    width: usize,
+) -> u64 {
     let column = (format.bits_per_value(rows) * rows as f64 / 8.0).ceil() as u64;
-    column * (restart as u64 + 1)
+    column * (restart as u64 + 1) * width as u64
 }
 
 /// Worst-case basis reservation of an adaptive job: the escalation
 /// ladder may end at `float64`, so the full 8 bytes/value are charged
-/// up front (a budget that admits the optimistic start but not the
-/// escalated end would OOM exactly when the solve needs help most).
-pub fn estimated_adaptive_basis_bytes(rows: usize, restart: usize) -> u64 {
-    8 * rows as u64 * (restart as u64 + 1)
+/// up front for every lane — `8 · rows · (restart + 1) · width` (a
+/// budget that admits the optimistic start but not the escalated end
+/// would OOM exactly when the solve needs help most; pass `width = 1`
+/// for a single-RHS job).
+pub fn estimated_adaptive_basis_bytes(rows: usize, restart: usize, width: usize) -> u64 {
+    8 * rows as u64 * (restart as u64 + 1) * width as u64
 }
 
 /// A long-lived solver front end: operators are registered (and
@@ -203,8 +212,8 @@ impl SolverService {
             BasisSelection::Adaptive => None,
         };
         let requested = match &format {
-            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart),
-            None => estimated_adaptive_basis_bytes(rows, spec.opts.restart),
+            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, 1),
+            None => estimated_adaptive_basis_bytes(rows, spec.opts.restart, 1),
         };
         let _reservation = self.ledger.admit(&spec.operator, requested)?;
 
@@ -241,6 +250,139 @@ impl SolverService {
                 &op.precond,
                 &mut observe,
             ),
+        });
+        Ok(result)
+    }
+
+    /// Run one multi-RHS (block) job to completion on the calling
+    /// thread, without telemetry. See
+    /// [`SolverService::solve_block_observed`].
+    pub fn solve_block(&self, spec: &BlockJobSpec) -> Result<BlockSolveResult, ServiceError> {
+        self.solve_block_observed(spec, |_| {})
+    }
+
+    /// Run one multi-RHS (block) job to completion, streaming an
+    /// [`RhsEvent`] to `observe` at every restart boundary of every
+    /// RHS (the shared space restarts all active RHS together; one
+    /// RHS's events stay in cycle order). The observer is a pure
+    /// spectator.
+    ///
+    /// The whole block is admitted as ONE reservation scaled by the
+    /// block width — `width ×` the per-RHS estimate, which is exactly
+    /// the shared basis's `width · (restart + 1)` columns — so a block
+    /// that would blow the budget is rejected with a typed
+    /// [`ServiceError::BudgetExceeded`] before any allocation.
+    /// `Fixed`/`Auto` selections route to the shared-space
+    /// [`krylov::block_gmres_dyn_observed`] driver;
+    /// [`BasisSelection::Adaptive`] falls back to independent per-RHS
+    /// adaptive solves (documented on [`BlockJobSpec::basis`]), charged
+    /// at the adaptive worst case `8 · rows · (restart + 1) · width`.
+    ///
+    /// An empty `rhss` is rejected as a
+    /// [`ServiceError::DimensionMismatch`] with `got = 0`.
+    pub fn solve_block_observed(
+        &self,
+        spec: &BlockJobSpec,
+        mut observe: impl FnMut(&RhsEvent),
+    ) -> Result<BlockSolveResult, ServiceError> {
+        let op = self.operator(&spec.operator)?;
+        let rows = op.matrix.rows();
+        let width = spec.rhss.len();
+        if width == 0 {
+            return Err(ServiceError::DimensionMismatch {
+                operator: spec.operator.clone(),
+                rows,
+                got: 0,
+            });
+        }
+        let x0_vecs = spec.x0s.as_deref().unwrap_or(&[]);
+        if spec.x0s.is_some() && x0_vecs.len() != width {
+            return Err(ServiceError::DimensionMismatch {
+                operator: spec.operator.clone(),
+                rows,
+                got: x0_vecs.len(),
+            });
+        }
+        for vec in spec.rhss.iter().chain(x0_vecs) {
+            if vec.len() != rows {
+                return Err(ServiceError::DimensionMismatch {
+                    operator: spec.operator.clone(),
+                    rows,
+                    got: vec.len(),
+                });
+            }
+        }
+        let format: Option<Box<dyn BasisFormat>> = match &spec.basis {
+            BasisSelection::Fixed(name) => Some(
+                basis_format::by_name(name)
+                    .ok_or_else(|| ServiceError::UnknownFormat(name.clone()))?,
+            ),
+            BasisSelection::Auto => Some(krylov::auto_basis(
+                spec.opts.target_rrn,
+                rows,
+                spec.opts.restart,
+            )),
+            BasisSelection::Adaptive => None,
+        };
+        let requested = match &format {
+            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, width),
+            None => estimated_adaptive_basis_bytes(rows, spec.opts.restart, width),
+        };
+        let _reservation = self.ledger.admit(&spec.operator, requested)?;
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(spec.threads.max(1))
+            .build()
+            .expect("job thread pool");
+        let result = pool.install(|| match &format {
+            Some(f) => block_gmres_dyn_observed(
+                op.matrix.as_ref(),
+                &spec.rhss,
+                spec.x0s.as_deref(),
+                &spec.opts,
+                &op.precond,
+                f.as_ref(),
+                |rhs, cycle| observe(&RhsEvent { rhs, cycle }),
+            ),
+            // Adaptive lanes escalate at their own pace, which one
+            // shared basis cannot express: run them as independent
+            // adaptive solves under the one block-sized reservation.
+            None => {
+                let zeros = vec![0.0; rows];
+                let mut solutions = Vec::with_capacity(width);
+                let mut stats = Vec::with_capacity(width);
+                let mut histories = Vec::with_capacity(width);
+                let mut operator_sweeps = 0u64;
+                for (rhs, b) in spec.rhss.iter().enumerate() {
+                    let x0 = spec.x0s.as_ref().map_or(&zeros[..], |x| &x[rhs]);
+                    let r = adaptive_gmres_observed(
+                        op.matrix.as_ref(),
+                        b,
+                        x0,
+                        &AdaptiveOptions {
+                            gmres: spec.opts.clone(),
+                            ..AdaptiveOptions::default()
+                        },
+                        &op.precond,
+                        |cycle| {
+                            observe(&RhsEvent {
+                                rhs,
+                                cycle: cycle.clone(),
+                            })
+                        },
+                    );
+                    operator_sweeps += r.stats.spmv_count;
+                    solutions.push(r.x);
+                    stats.push(r.stats);
+                    histories.push(r.history);
+                }
+                BlockSolveResult {
+                    solutions,
+                    stats,
+                    histories,
+                    operator_sweeps,
+                }
+            }
         });
         Ok(result)
     }
@@ -408,7 +550,7 @@ mod tests {
         let (a, b) = smooth();
         let fmt = basis_format::by_name("float64").unwrap();
         let opts = GmresOptions::default();
-        let needed = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart);
+        let needed = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
         let service = SolverService::new(ServiceConfig {
             basis_budget_bytes: Some(needed - 1),
             admission: AdmissionPolicy::Reject,
@@ -435,7 +577,7 @@ mod tests {
         let (a, b) = smooth();
         let fmt = basis_format::by_name("frsz2_21").unwrap();
         let opts = GmresOptions::default();
-        let one_job = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart);
+        let one_job = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
         // Budget fits exactly one job at a time.
         let service = SolverService::new(ServiceConfig {
             basis_budget_bytes: Some(one_job + one_job / 2),
@@ -531,6 +673,173 @@ mod tests {
             }
             assert!(mine.len() > 1, "restart 20 must take multiple cycles");
         }
+    }
+
+    fn rhs_family(a: &Csr, width: usize) -> Vec<Vec<f64>> {
+        let (_, b0) = manufactured_rhs(a);
+        (0..width)
+            .map(|k| {
+                if k == 0 {
+                    b0.clone()
+                } else {
+                    (0..a.rows())
+                        .map(|i| ((i as f64) * 0.21 + (k as f64) * 0.73).sin() + 0.1)
+                        .collect()
+                }
+            })
+            .collect()
+    }
+
+    fn block_job(operator: &str, rhss: Vec<Vec<f64>>, format: &str, target: f64) -> BlockJobSpec {
+        let mut spec = BlockJobSpec::new(operator, rhss);
+        spec.basis = BasisSelection::Fixed(format.into());
+        spec.opts.target_rrn = target;
+        spec.opts.max_iters = 2000;
+        spec
+    }
+
+    #[test]
+    fn block_job_budget_scales_with_width() {
+        let (a, _) = smooth();
+        let fmt = basis_format::by_name("frsz2_21").unwrap();
+        let opts = GmresOptions::default();
+        let one_lane = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
+        assert_eq!(
+            estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 16),
+            16 * one_lane
+        );
+        assert_eq!(
+            estimated_adaptive_basis_bytes(a.rows(), opts.restart, 16),
+            16 * 8 * (a.rows() as u64) * (opts.restart as u64 + 1)
+        );
+        // Budget fits exactly one lane: a 16-RHS block must be refused,
+        // the same job at width 1 must pass.
+        let service = SolverService::new(ServiceConfig {
+            basis_budget_bytes: Some(one_lane),
+            admission: AdmissionPolicy::Reject,
+        });
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let wide = block_job("smooth", rhs_family(&a, 16), "frsz2_21", 1e-6);
+        let denied = service.solve_block(&wide).unwrap_err();
+        assert!(matches!(
+            denied,
+            ServiceError::BudgetExceeded { requested, budget, .. }
+                if requested == 16 * one_lane && budget == one_lane
+        ));
+        let narrow = block_job("smooth", rhs_family(&a, 1), "frsz2_21", 1e-6);
+        let ok = service.solve_block(&narrow).unwrap();
+        assert!(ok.all_converged());
+        assert_eq!(service.basis_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn block_job_solves_every_rhs_and_streams_per_rhs_telemetry() {
+        let (a, _) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::Jacobi)
+            .unwrap();
+        let mut spec = block_job("smooth", rhs_family(&a, 3), "frsz2_21", 1e-8);
+        spec.opts.restart = 20; // force several cycles → several events
+        let mut events: Vec<RhsEvent> = Vec::new();
+        let result = service
+            .solve_block_observed(&spec, |e| events.push(e.clone()))
+            .unwrap();
+        assert_eq!(result.width(), 3);
+        assert!(result.all_converged());
+        for (rhs, stats) in result.stats.iter().enumerate() {
+            let mine: Vec<&RhsEvent> = events.iter().filter(|e| e.rhs == rhs).collect();
+            // Single-solve boundary semantics per lane: one event per
+            // executed cycle, in cycle order, naming the cycle's format.
+            assert_eq!(mine.len(), stats.restarts);
+            for (k, e) in mine.iter().enumerate() {
+                assert_eq!(e.cycle.cycle, k);
+                assert_eq!(e.cycle.format, stats.format_trajectory[k]);
+            }
+            assert!(mine.len() > 1, "restart 20 must take multiple cycles");
+        }
+    }
+
+    #[test]
+    fn width_one_block_job_matches_single_job_bit_for_bit() {
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let single = service
+            .solve(&job("smooth", b.clone(), "frsz2_21", 1e-8))
+            .unwrap();
+        let block = service
+            .solve_block(&block_job("smooth", vec![b], "frsz2_21", 1e-8))
+            .unwrap();
+        assert_eq!(block.stats[0].iterations, single.stats.iterations);
+        assert_eq!(block.operator_sweeps, single.stats.spmv_count);
+        assert_eq!(block.histories[0].len(), single.history.len());
+        for (p, q) in block.histories[0].iter().zip(&single.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+        }
+        for (u, v) in block.solutions[0].iter().zip(&single.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_block_job_matches_independent_adaptive_solves() {
+        let a = gen::wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+        let rhss = rhs_family(&a, 2);
+        let service = SolverService::with_defaults();
+        service.register_csr("wide", &a, PrecondSpec::None).unwrap();
+        let mut spec = BlockJobSpec::new("wide", rhss.clone());
+        spec.basis = BasisSelection::Adaptive;
+        spec.opts.target_rrn = 1e-10;
+        spec.opts.restart = 30;
+        spec.opts.max_iters = 1200;
+        let block = service.solve_block(&spec).unwrap();
+        // The adaptive fallback runs the lanes as independent adaptive
+        // solves: each lane is bit-identical to its own JobSpec run.
+        let mut sweep_sum = 0;
+        for (k, b) in rhss.into_iter().enumerate() {
+            let mut single = JobSpec::new("wide", b);
+            single.basis = BasisSelection::Adaptive;
+            single.opts = spec.opts.clone();
+            let r = service.solve(&single).unwrap();
+            sweep_sum += r.stats.spmv_count;
+            assert_eq!(block.stats[k].iterations, r.stats.iterations);
+            assert_eq!(block.stats[k].format_trajectory, r.stats.format_trajectory);
+            for (u, v) in block.solutions[k].iter().zip(&r.x) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        assert_eq!(block.operator_sweeps, sweep_sum);
+    }
+
+    #[test]
+    fn block_job_dimension_checks_cover_width_rhs_and_x0() {
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        // Empty block.
+        assert!(matches!(
+            service.solve_block(&BlockJobSpec::new("smooth", vec![])),
+            Err(ServiceError::DimensionMismatch { got: 0, .. })
+        ));
+        // One RHS of the wrong length.
+        assert!(matches!(
+            service.solve_block(&BlockJobSpec::new("smooth", vec![b.clone(), vec![1.0; 10]])),
+            Err(ServiceError::DimensionMismatch { got: 10, .. })
+        ));
+        // x0 count must match the block width.
+        let mut spec = BlockJobSpec::new("smooth", vec![b.clone(), b]);
+        spec.x0s = Some(vec![vec![0.0; 512]]);
+        assert!(matches!(
+            service.solve_block(&spec),
+            Err(ServiceError::DimensionMismatch { got: 1, .. })
+        ));
     }
 
     #[test]

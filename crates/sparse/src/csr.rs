@@ -111,6 +111,30 @@ impl Csr {
         });
     }
 
+    /// `Y := A X` for `width` interleaved right-hand sides (fused: each
+    /// stored entry is read once and multiplied into all `width`
+    /// outputs). Same [`crate::matrix`] chunk geometry as `spmv`, each
+    /// `(row, rhs)` accumulated serially in entry order → bit-identical
+    /// to `width` separate [`Csr::spmv`] calls at any thread count.
+    pub fn spmm_into(&self, x: &[f64], y: &mut [f64], width: usize) {
+        assert!(width >= 1, "spmm width must be positive");
+        assert_eq!(x.len(), self.cols * width, "x length mismatch");
+        assert_eq!(y.len(), self.rows * width, "y length mismatch");
+        let row_ptr = &self.row_ptr;
+        let col_idx = &self.col_idx;
+        let values = &self.values;
+        crate::matrix::par_over_row_blocks(y, width, |i, out| {
+            out.fill(0.0);
+            for idx in row_ptr[i]..row_ptr[i + 1] {
+                let v = values[idx];
+                let xs = &x[col_idx[idx] as usize * width..][..width];
+                for (acc, xv) in out.iter_mut().zip(xs) {
+                    *acc += v * xv;
+                }
+            }
+        });
+    }
+
     /// `y := A x` computed serially (reference for tests).
     pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
@@ -248,6 +272,10 @@ impl SparseMatrix for Csr {
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         Csr::spmv(self, x, y)
+    }
+
+    fn spmm_into(&self, x: &[f64], y: &mut [f64], width: usize) {
+        Csr::spmm_into(self, x, y, width)
     }
 
     fn diagonal(&self) -> Vec<f64> {

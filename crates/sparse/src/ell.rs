@@ -8,7 +8,7 @@
 //! length) and terrible for matrices with a few long rows; the runtime
 //! choice lives in [`crate::select`].
 
-use crate::matrix::{par_over_rows, SparseMatrix};
+use crate::matrix::{par_over_row_blocks, par_over_rows, SparseMatrix};
 use crate::Csr;
 
 /// Sparse matrix in ELL format (`u32` column indices, column-major).
@@ -113,6 +113,32 @@ impl SparseMatrix for Ell {
                 acc += values[s] * x[col_idx[s] as usize];
             }
             acc
+        });
+    }
+
+    /// `Y := A X` fused over `width` interleaved right-hand sides: one
+    /// read of each padded slot drives all `width` accumulators, with
+    /// the same `(row, rhs)` serial entry-order accumulation and chunk
+    /// geometry as `spmv` → bit-identical to `width` separate
+    /// [`Ell::spmv`] calls on any format at any thread count.
+    fn spmm_into(&self, x: &[f64], y: &mut [f64], width: usize) {
+        assert!(width >= 1, "spmm width must be positive");
+        assert_eq!(x.len(), self.cols * width, "x length mismatch");
+        assert_eq!(y.len(), self.rows * width, "y length mismatch");
+        let rows = self.rows;
+        let row_len = &self.row_len;
+        let col_idx = &self.col_idx;
+        let values = &self.values;
+        par_over_row_blocks(y, width, |i, out| {
+            out.fill(0.0);
+            for k in 0..row_len[i] as usize {
+                let s = k * rows + i;
+                let v = values[s];
+                let xs = &x[col_idx[s] as usize * width..][..width];
+                for (acc, xv) in out.iter_mut().zip(xs) {
+                    *acc += v * xv;
+                }
+            }
         });
     }
 }

@@ -53,6 +53,35 @@ pub(crate) fn par_over_rows(y: &mut [f64], kernel: impl Fn(usize) -> f64 + Sync)
         });
 }
 
+/// Multi-vector sibling of [`par_over_rows`]: `y` is row-major
+/// interleaved (`width` values per row), and `kernel(i, out)` fills the
+/// `width`-slot output row `i`. Work items cover the SAME
+/// [`ROW_CHUNK`]-row spans as the vector driver — the boundaries derive
+/// from `ROW_CHUNK` and the row count only, never the thread count or
+/// the block width — so per-row accumulation stays serial and `spmm`
+/// results are bit-identical across formats and thread counts.
+pub(crate) fn par_over_row_blocks(
+    y: &mut [f64],
+    width: usize,
+    kernel: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    use rayon::prelude::*;
+    if y.len() <= ROW_CHUNK * width {
+        for (i, out) in y.chunks_exact_mut(width).enumerate() {
+            kernel(i, out);
+        }
+        return;
+    }
+    y.par_chunks_mut(ROW_CHUNK * width)
+        .enumerate()
+        .for_each(|(chunk, block)| {
+            let base = chunk * ROW_CHUNK;
+            for (k, out) in block.chunks_exact_mut(width).enumerate() {
+                kernel(base + k, out);
+            }
+        });
+}
+
 /// A sparse matrix usable as the operator of the solver stack.
 ///
 /// Object-safe: `&dyn SparseMatrix` works wherever `&impl SparseMatrix`
@@ -81,6 +110,43 @@ pub trait SparseMatrix: Send + Sync {
     /// `y := A x` — parallel, deterministic, bit-identical to every
     /// other format at any thread count (see module docs).
     fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// `Y := A X` for `width` right-hand sides at once — the block
+    /// solver's expansion kernel. `x` and `y` are **row-major
+    /// interleaved**: RHS `j`'s value at row `i` sits at `i*width + j`,
+    /// so one sweep of the matrix touches all `width` outputs and the
+    /// matrix traffic is amortized over the block (the point of block
+    /// CB-GMRES).
+    ///
+    /// The bit-identity contract extends the SpMV one: each
+    /// `(row, rhs)` pair accumulates serially in the row's CSR entry
+    /// order, and tile boundaries are the same `ROW_CHUNK` row spans
+    /// `spmv` uses. Consequence: `spmm_into` at any width, on any
+    /// format, at any thread count, reproduces `width` independent
+    /// `spmv` calls bit for bit — enforced by the property tests in
+    /// `crates/sparse/tests/proptests.rs`.
+    ///
+    /// The default tiles over [`SparseMatrix::for_each_in_row`];
+    /// [`crate::Csr`], [`crate::Ell`], and [`crate::SellCSigma`]
+    /// override it with fused kernels that read each stored entry once.
+    ///
+    /// # Panics
+    /// If `width == 0`, `x.len() != cols*width`, or
+    /// `y.len() != rows*width`.
+    fn spmm_into(&self, x: &[f64], y: &mut [f64], width: usize) {
+        assert!(width >= 1, "spmm width must be positive");
+        assert_eq!(x.len(), self.cols() * width, "x length mismatch");
+        assert_eq!(y.len(), self.rows() * width, "y length mismatch");
+        par_over_row_blocks(y, width, |i, out| {
+            out.fill(0.0);
+            self.for_each_in_row(i, &mut |c, v| {
+                let xs = &x[c as usize * width..(c as usize + 1) * width];
+                for (acc, xv) in out.iter_mut().zip(xs) {
+                    *acc += v * xv;
+                }
+            });
+        });
+    }
 
     /// Main-diagonal entries (zero where the diagonal is absent).
     fn diagonal(&self) -> Vec<f64> {

@@ -18,7 +18,7 @@
 //! order, so results stay bit-identical to [`crate::Csr::spmv`] at any
 //! thread count.
 
-use crate::matrix::{par_over_rows, SparseMatrix};
+use crate::matrix::{par_over_row_blocks, par_over_rows, SparseMatrix};
 use crate::Csr;
 
 /// Sparse matrix in SELL-C-σ format.
@@ -240,6 +240,37 @@ impl SparseMatrix for SellCSigma {
                 acc += values[s] * x[col_idx[s] as usize];
             }
             acc
+        });
+    }
+
+    /// `Y := A X` fused over `width` interleaved right-hand sides. The
+    /// σ-permutation stays pure storage bookkeeping: output rows are
+    /// written in original order, each `(row, rhs)` accumulating
+    /// serially in CSR entry order over the same chunk geometry as
+    /// `spmv` → bit-identical to `width` separate [`Csr::spmv`] calls
+    /// at any thread count.
+    fn spmm_into(&self, x: &[f64], y: &mut [f64], width: usize) {
+        assert!(width >= 1, "spmm width must be positive");
+        assert_eq!(x.len(), self.cols * width, "x length mismatch");
+        assert_eq!(y.len(), self.rows * width, "y length mismatch");
+        let c = self.c;
+        let slice_ptr = &self.slice_ptr;
+        let row_len = &self.row_len;
+        let row_pos = &self.row_pos;
+        let col_idx = &self.col_idx;
+        let values = &self.values;
+        par_over_row_blocks(y, width, |i, out| {
+            let pos = row_pos[i] as usize;
+            let base = slice_ptr[pos / c] + pos % c;
+            out.fill(0.0);
+            for k in 0..row_len[i] as usize {
+                let s = base + k * c;
+                let v = values[s];
+                let xs = &x[col_idx[s] as usize * width..][..width];
+                for (acc, xv) in out.iter_mut().zip(xs) {
+                    *acc += v * xv;
+                }
+            }
         });
     }
 }

@@ -199,6 +199,53 @@ proptest! {
         }
     }
 
+    /// `spmm_into` (default tiled AND the fused CSR/ELL/SELL overrides)
+    /// reproduces per-RHS `spmv` bit for bit on arbitrary generated
+    /// matrices at several block widths.
+    #[test]
+    fn formats_spmm_bit_identical_to_per_rhs_spmv(
+        trips in triplets(20),
+        xs in prop::collection::vec(-5.0f64..5.0, 20 * 16),
+        c in 1usize..9,
+        sigma in 1usize..40,
+    ) {
+        let n = 20;
+        let mut coo = Coo::new(n, n);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let formats: [Box<dyn SparseMatrix>; 3] = [
+            Box::new(a.clone()),
+            Box::new(Ell::from_csr(&a)),
+            Box::new(SellCSigma::from_csr(&a, c, sigma)),
+        ];
+        for width in [1usize, 2, 7, 16] {
+            // Interleave the first `width` of the 16 generated RHS.
+            let mut x = vec![0.0; n * width];
+            for i in 0..n {
+                for j in 0..width {
+                    x[i * width + j] = xs[j * n + i];
+                }
+            }
+            for m in &formats {
+                let mut y = vec![0.0; n * width];
+                m.spmm_into(&x, &mut y, width);
+                for j in 0..width {
+                    let xj: Vec<f64> = (0..n).map(|i| x[i * width + j]).collect();
+                    let reference = a.mul_vec(&xj);
+                    for i in 0..n {
+                        prop_assert_eq!(
+                            y[i * width + j].to_bits(),
+                            reference[i].to_bits(),
+                            "{} width {} rhs {} row {}", m.format_name(), width, j, i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// dot/axpy/norm2 satisfy basic algebraic identities.
     #[test]
     fn vector_kernel_identities(
@@ -219,6 +266,97 @@ proptest! {
         let mut z = vec![1.0; n];
         dense::sub(&x, &x, &mut z);
         prop_assert!(z.iter().all(|&v| v == 0.0));
+    }
+}
+
+/// Forwards everything to CSR *except* `spmm_into`, so the trait's
+/// default tiled implementation (over `for_each_in_row`) is exercised
+/// by the cross-thread-count block test below.
+struct DefaultSpmm(spla::Csr);
+
+impl SparseMatrix for DefaultSpmm {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    fn nnz(&self) -> usize {
+        self.0.nnz()
+    }
+    fn format_name(&self) -> &'static str {
+        "csr-default-spmm"
+    }
+    fn storage_bytes(&self) -> usize {
+        SparseMatrix::storage_bytes(&self.0)
+    }
+    fn for_each_in_row(&self, i: usize, f: &mut dyn FnMut(u32, f64)) {
+        self.0.for_each_in_row(i, f)
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.0.spmv(x, y)
+    }
+}
+
+/// `spmm_into` agrees with serial per-RHS CSR SpMV *bitwise* on a
+/// matrix spanning many parallel row chunks, for every format (plus the
+/// trait-default tiling), under pools of 1, 2 and 8 threads, at block
+/// widths 1, 2, 7 and 16 — the block arm of the determinism contract.
+#[test]
+fn formats_spmm_bit_identical_across_thread_counts() {
+    let n = 6000;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0 + ((i % 11) as f64) * 0.125);
+        for k in 0..(i % 6) {
+            let c = (i + 13 * (k + 1)) % n;
+            if c != i {
+                coo.push(i, c, -0.3 - (k as f64) * 0.05);
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let formats: [Box<dyn SparseMatrix>; 4] = [
+        Box::new(a.clone()),
+        Box::new(Ell::from_csr(&a)),
+        Box::new(SellCSigma::from_csr(&a, 32, 256)),
+        Box::new(DefaultSpmm(a.clone())),
+    ];
+    for width in [1usize, 2, 7, 16] {
+        let mut x = vec![0.0; n * width];
+        for i in 0..n {
+            for (j, xv) in x[i * width..(i + 1) * width].iter_mut().enumerate() {
+                *xv = ((i as f64) * 0.29 + (j as f64) * 1.7).sin();
+            }
+        }
+        // Per-RHS serial CSR reference.
+        let mut reference = vec![0.0; n * width];
+        for j in 0..width {
+            let xj: Vec<f64> = (0..n).map(|i| x[i * width + j]).collect();
+            let mut yj = vec![0.0; n];
+            a.spmv_serial(&xj, &mut yj);
+            for i in 0..n {
+                reference[i * width + j] = yj[i];
+            }
+        }
+        for m in &formats {
+            for threads in [1usize, 2, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut y = vec![0.0; n * width];
+                pool.install(|| m.spmm_into(&x, &mut y, width));
+                for (i, (got, want)) in y.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} width {width} slot {i} at {threads} threads",
+                        m.format_name()
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -144,6 +144,7 @@ fn main() {
             .as_ref(),
         smooth.rows(),
         frsz2_repro::krylov::GmresOptions::default().restart,
+        1,
     );
     let budgeted = SolverService::new(ServiceConfig {
         basis_budget_bytes: Some(f64_cost - 1),

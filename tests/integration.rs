@@ -5,8 +5,8 @@
 use frsz2_repro::frsz2::{Frsz2Config, Frsz2Store, Frsz2Vector};
 use frsz2_repro::gpusim;
 use frsz2_repro::krylov::{
-    adaptive_gmres, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity, Jacobi,
-    ESCALATION_LADDER,
+    adaptive_gmres, block_gmres_with, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity,
+    Jacobi, ESCALATION_LADDER,
 };
 use frsz2_repro::lossy::{registry, Compressor, RoundTripStore};
 use frsz2_repro::numfmt::{ColumnStorage, DenseStore, BF16, F16};
@@ -490,4 +490,78 @@ fn wide_range_flush_behaviour_matches_prediction_end_to_end() {
         observed > 0.05,
         "the wide-range data must actually flush values"
     );
+}
+
+#[test]
+fn block_solve_end_to_end_per_rhs_convergence_and_width_one_identity() {
+    // The block driver through the umbrella crate, end to end: four
+    // right-hand sides of single-solve difficulty share one compressed
+    // Krylov space; every RHS must reach the explicit target
+    // (recomputed here from scratch), and the width-1 block solve must
+    // be the single solve bit for bit.
+    let a = gen::conv_diff_3d(10, 10, 10, [0.4, 0.2, 0.1], 0.2);
+    let n = a.rows();
+    let (_, b0) = manufactured_rhs(&a);
+    let rhss: Vec<Vec<f64>> = (0..4)
+        .map(|k| {
+            if k == 0 {
+                b0.clone()
+            } else {
+                let xsol: Vec<f64> = (0..n)
+                    .map(|i| ((i as f64) * (1.0 + 0.37 * k as f64) + (k as f64) * 0.73).sin())
+                    .collect();
+                a.mul_vec(&xsol)
+            }
+        })
+        .collect();
+    let opts = GmresOptions {
+        restart: 25,
+        ..small_opts(1e-9)
+    };
+    let cfg = Frsz2Config::new(32, 21);
+    let r = block_gmres_with(&a, &rhss, None, &opts, &Identity, |rows, cols| {
+        Frsz2Store::with_config(cfg, rows, cols)
+    });
+    assert!(r.all_converged(), "every RHS must converge");
+    for (k, (x, b)) in r.solutions.iter().zip(&rhss).enumerate() {
+        let ax = a.mul_vec(x);
+        let res: Vec<f64> = ax.iter().zip(b).map(|(ai, bi)| bi - ai).collect();
+        let rrn = norm2(&res) / norm2(b);
+        assert!(
+            rrn <= 1e-9,
+            "RHS {k}: explicit residual {rrn:e} misses target"
+        );
+    }
+    // One operator sweep per expansion serves all four RHS: far fewer
+    // sweeps than four independent solves would spend.
+    let total_iters: usize = r.stats.iter().map(|s| s.iterations).sum();
+    assert!(
+        (r.operator_sweeps as usize) < total_iters,
+        "sweeps {} should be amortized below summed iterations {total_iters}",
+        r.operator_sweeps
+    );
+
+    let single = gmres_with(&a, &b0, &vec![0.0; n], &opts, &Identity, |rows, cols| {
+        Frsz2Store::with_config(cfg, rows, cols)
+    });
+    let one = block_gmres_with(
+        &a,
+        std::slice::from_ref(&rhss[0]),
+        None,
+        &opts,
+        &Identity,
+        |rows, cols| Frsz2Store::with_config(cfg, rows, cols),
+    );
+    assert_eq!(one.stats[0].iterations, single.stats.iterations);
+    assert_eq!(
+        one.stats[0].final_rrn.to_bits(),
+        single.stats.final_rrn.to_bits()
+    );
+    for (x1, x2) in one.solutions[0].iter().zip(&single.x) {
+        assert_eq!(
+            x1.to_bits(),
+            x2.to_bits(),
+            "width-1 block must be the single solve"
+        );
+    }
 }
