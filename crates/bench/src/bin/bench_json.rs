@@ -5,7 +5,7 @@
 //! a similarity-scaled operator) at explicit thread counts and emits
 //! schema-stable `BENCH_<name>.json` files plus a combined
 //! `results/bench_json.csv`. The schema — field-by-field, with the
-//! v1→v6 changelog — is documented in `docs/bench-schema.md`.
+//! v1→v7 changelog — is documented in `docs/bench-schema.md`.
 //!
 //! Schema v5 adds the `service` suite: eight mixed-format jobs over
 //! two operators cached by a long-lived `SolverService`, run
@@ -21,6 +21,14 @@
 //! single-solve reference fingerprint byte for byte at every thread
 //! count; `time_per_rhs_ms` / `spmv_gb_per_rhs` record the evidence
 //! that b = 16 beats the pinned b = 1 case per RHS.
+//!
+//! Schema v7 adds the `sstep` suite: the pinned `cb_gmres_frsz2_21`
+//! configuration solved through the s-step driver for s ∈ {1, 2, 4, 8}.
+//! The s = 1 case must reproduce the in-suite single-solve reference
+//! fingerprint byte for byte at every thread count, and every s > 1
+//! case must converge to the same explicit target with strictly fewer
+//! basis decode sweeps than s = 1 — the committed evidence that the
+//! matrix-powers panel amortizes per-iteration decode traffic.
 //!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
@@ -50,8 +58,8 @@ use bench::json::{self, Json};
 use bench::report;
 use frsz2::{Frsz2AdaptiveStore, Frsz2Config, Frsz2Store, Frsz2Vector};
 use krylov::{
-    adaptive_gmres, block_gmres_with, gmres, gmres_with, AdaptiveOptions, GmresOptions, Identity,
-    SolveResult, ESCALATION_LADDER,
+    adaptive_gmres, block_gmres_with, gmres, gmres_with, sstep_gmres_dyn, AdaptiveOptions,
+    GmresOptions, Identity, SStepOptions, SStepSolveResult, SolveResult, ESCALATION_LADDER,
 };
 use numfmt::ColumnStorage;
 use spla::{auto_format, gen, Ell, SellCSigma, SparseMatrix};
@@ -1120,6 +1128,211 @@ fn bench_block(args: &Args) -> (Json, Vec<CaseResult>) {
     )
 }
 
+/// s-step CB-GMRES (schema v7): the pinned `cb_gmres_frsz2_21`
+/// configuration solved through the s-step driver for s ∈ {1, 2, 4, 8}.
+///
+/// Three contracts are enforced in-harness, so a regenerated artifact
+/// cannot silently regress them:
+///
+/// * `sstep_solve_frsz2_21_s1` must reproduce the in-suite single-solve
+///   reference `sstep_solve_frsz2_21_ref` (itself exactly the solve
+///   suite's `cb_gmres_frsz2_21` case — same operator, options, store,
+///   and fingerprint formula) byte for byte at every thread count: the
+///   s = 1 driver delegates to the scalar cycle bit for bit.
+/// * Every s > 1 case must converge to the same explicit 1e-10 target
+///   with **strictly fewer** basis decode sweeps (`dot_sweeps +
+///   gemv_sweeps`) than the s = 1 case at the same thread count —
+///   the committed evidence that the matrix-powers panel amortizes
+///   per-iteration decode traffic.
+/// * No s > 1 case may breach its loss-of-orthogonality budget on this
+///   operator (`loo_breaches = 0`, `loo_max` recorded per case).
+fn bench_sstep(args: &Args) -> (Json, Vec<CaseResult>) {
+    let s_dim = if args.quick { 12 } else { 20 };
+    let a = gen::conv_diff_3d(s_dim, s_dim, s_dim, [0.4, 0.2, 0.1], 0.2);
+    let (_, b0) = spla::dense::manufactured_rhs(&a);
+    let n = a.rows();
+    let opts = GmresOptions {
+        restart: 100,
+        max_iters: 5000,
+        target_rrn: 1e-10,
+        record_history: true,
+        ..GmresOptions::default()
+    };
+    let cfg = Frsz2Config::new(32, 21);
+    let format = krylov::basis_format::by_name("frsz2_21").expect("frsz2_21 registered");
+    let x0 = vec![0.0; n];
+    let mut cases = Vec::new();
+
+    // Single-solve reference: exactly the solve suite's
+    // `cb_gmres_frsz2_21` case, re-run here so the sstep suite carries
+    // its own pin — CI compares `sstep_solve_frsz2_21_s1` against it.
+    for &threads in &args.threads {
+        let mut last: Option<SolveResult> = None;
+        let samples = time_under_pool(threads, args.runs, || {
+            last = Some(gmres_with(&a, &b0, &x0, &opts, &Identity, |rows, cols| {
+                Frsz2Store::with_config(cfg, rows, cols)
+            }))
+        });
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        let r = last.expect("at least one solve ran");
+        assert!(r.stats.converged, "reference solve failed to converge");
+        let mut h = Fnv::new();
+        h.push(r.stats.iterations as u64);
+        for point in &r.history {
+            h.push(point.rrn.to_bits());
+        }
+        cases.push(CaseResult {
+            name: "sstep_solve_frsz2_21_ref".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("s".into(), 1.0),
+                ("iterations".into(), r.stats.iterations as f64),
+                ("final_rrn".into(), r.stats.final_rrn),
+                ("dot_sweeps".into(), r.stats.basis_dot_sweeps as f64),
+                ("gemv_sweeps".into(), r.stats.basis_gemv_sweeps as f64),
+                (
+                    "basis_sweeps".into(),
+                    (r.stats.basis_dot_sweeps + r.stats.basis_gemv_sweeps) as f64,
+                ),
+            ],
+            fingerprint: h.hex(),
+            format_trajectory: None,
+        });
+    }
+
+    for s in [1usize, 2, 4, 8] {
+        let name = format!("sstep_solve_frsz2_21_s{s}");
+        let sopts = SStepOptions {
+            s,
+            loo_budget: None,
+            gmres: opts.clone(),
+        };
+        for &threads in &args.threads {
+            let mut last: Option<SStepSolveResult> = None;
+            let samples = time_under_pool(threads, args.runs, || {
+                last = Some(sstep_gmres_dyn(
+                    &a,
+                    &b0,
+                    &x0,
+                    &sopts,
+                    &Identity,
+                    format.as_ref(),
+                ))
+            });
+            let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+            let r = last.expect("at least one solve ran");
+            assert!(
+                r.solve.stats.converged,
+                "s-step solve (s = {s}) failed to converge"
+            );
+            assert_eq!(
+                r.loo_breaches, 0,
+                "s-step solve (s = {s}) breached its LOO budget"
+            );
+            // Same fingerprint formula as the scalar solve cases: the
+            // s = 1 delegation makes it byte-equal to the reference.
+            let mut h = Fnv::new();
+            h.push(r.solve.stats.iterations as u64);
+            for point in &r.solve.history {
+                h.push(point.rrn.to_bits());
+            }
+            let stats = &r.solve.stats;
+            let loo_max = r.loo_per_cycle.iter().cloned().fold(0.0f64, f64::max);
+            cases.push(CaseResult {
+                name: name.clone(),
+                threads,
+                runs: args.runs,
+                min_ms,
+                median_ms,
+                mean_ms,
+                metrics: vec![
+                    ("s".into(), s as f64),
+                    (
+                        "s_gated".into(),
+                        r.s_per_cycle.iter().copied().max().unwrap_or(1) as f64,
+                    ),
+                    ("iterations".into(), stats.iterations as f64),
+                    ("final_rrn".into(), stats.final_rrn),
+                    ("dot_sweeps".into(), stats.basis_dot_sweeps as f64),
+                    ("gemv_sweeps".into(), stats.basis_gemv_sweeps as f64),
+                    (
+                        "basis_sweeps".into(),
+                        (stats.basis_dot_sweeps + stats.basis_gemv_sweeps) as f64,
+                    ),
+                    ("operator_sweeps".into(), stats.spmv_count as f64),
+                    ("loo_max".into(), loo_max),
+                    ("loo_breaches".into(), r.loo_breaches as f64),
+                ],
+                fingerprint: h.hex(),
+                format_trajectory: None,
+            });
+        }
+    }
+    // The s = 1 s-step solve IS the scalar solve — byte for byte, at
+    // every thread count. A divergence here fails the harness (and CI).
+    enforce_cross_format(
+        "sstep",
+        &["sstep_solve_frsz2_21_ref", "sstep_solve_frsz2_21_s1"],
+        &cases,
+    );
+    // Committed evidence: every s > 1 case spends strictly fewer
+    // decode sweeps than s = 1 at the same thread count.
+    for &threads in &args.threads {
+        let sweeps = |name: &str| -> f64 {
+            cases
+                .iter()
+                .find(|c| c.name == name && c.threads == threads)
+                .and_then(|c| {
+                    c.metrics
+                        .iter()
+                        .find(|(k, _)| k == "basis_sweeps")
+                        .map(|(_, v)| *v)
+                })
+                .expect("basis_sweeps metric present")
+        };
+        let base = sweeps("sstep_solve_frsz2_21_s1");
+        for s in [2, 4, 8] {
+            let v = sweeps(&format!("sstep_solve_frsz2_21_s{s}"));
+            assert!(
+                v < base,
+                "s = {s} must amortize decode sweeps ({v} vs {base} at {threads} threads)"
+            );
+        }
+    }
+
+    let config = vec![
+        ("matrix", Json::Str(format!("conv_diff_3d {s_dim}^3"))),
+        ("rows", Json::Num(n as f64)),
+        ("format", Json::Str("frsz2_21".into())),
+        ("target_rrn", Json::Num(1e-10)),
+        ("restart", Json::Num(100.0)),
+        (
+            "s_values",
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Num(4.0),
+                Json::Num(8.0),
+            ]),
+        ),
+        ("max_sstep", Json::Num(format.max_sstep() as f64)),
+    ];
+    (
+        emit_doc(
+            "sstep",
+            args.quick,
+            config,
+            &cases,
+            "sstep_solve_frsz2_21_s4",
+        ),
+        cases,
+    )
+}
+
 /// Concurrent `SolverService` throughput (schema v5): eight
 /// mixed-format jobs over two cached operators, run once sequentially
 /// (jobs one at a time) and once concurrently (`run_batch`, one OS
@@ -1309,6 +1522,7 @@ fn bench_service(args: &Args) -> (Json, Vec<CaseResult>) {
             .as_ref(),
         smooth.rows(),
         opts.restart,
+        1,
         1,
     );
     let budgeted = SolverService::new(ServiceConfig {
@@ -1516,6 +1730,7 @@ fn main() {
         ("solve", bench_solve),
         ("service", bench_service),
         ("block", bench_block),
+        ("sstep", bench_sstep),
     ] {
         let (doc, cases) = build(&args);
         enforce_determinism(bench, &cases);

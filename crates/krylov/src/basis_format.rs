@@ -54,6 +54,20 @@ pub trait BasisFormat: Send + Sync {
     /// rate is data-dependent).
     fn bits_per_value(&self, rows: usize) -> f64;
 
+    /// Largest s-step panel width the format admits (see
+    /// [`crate::sstep`]): the monomial matrix-powers basis loses ~one
+    /// binade of conditioning per power, so a format keeping `l`
+    /// mantissa bits can only absorb panels whose conditioning growth
+    /// stays well inside `l` — beyond that the measured
+    /// loss-of-orthogonality trips the runtime monitor every cycle and
+    /// s-step degenerates to `s = 1` with extra diagnostics traffic.
+    /// Mirrors [`BasisFormat::accuracy_floor`]: a measured, per-format
+    /// table rather than a universal constant. Defaults to 1 (no
+    /// s-step) so unknown formats are safe by construction.
+    fn max_sstep(&self) -> usize {
+        1
+    }
+
     /// Allocate a `rows × cols` store of this format.
     fn create(&self, rows: usize, cols: usize) -> Box<dyn ColumnStorage>;
 }
@@ -114,6 +128,39 @@ impl BasisFormat for RegisteredFormat {
             Backend::Frsz2Adaptive => 16.0 + 40.0 / 32.0,
             // Nominal: codecs only know their rate after compressing.
             Backend::Codec { .. } => 64.0,
+        }
+    }
+
+    fn max_sstep(&self) -> usize {
+        match &self.backend {
+            // Exact storage: bounded only by the monomial basis itself
+            // (κ(panel) ~ κ(A)^s; 16 powers is where double-precision
+            // CholQR still recovers on the paper's operators).
+            Backend::F64 => 16,
+            Backend::F32 => 8,
+            // 11/8 mantissa bits leave no headroom beyond a pair.
+            Backend::F16 | Backend::BF16 => 2,
+            // FRSZ2 keeps `l − 2` mantissa bits below the block max;
+            // the table steps down with the bit length like the
+            // accuracy floor does.
+            Backend::Frsz2(cfg) => match cfg.bits() {
+                l if l >= 28 => 12,
+                l if l >= 20 => 8,
+                l if l >= 12 => 4,
+                _ => 2,
+            },
+            // Per-block adaptive: floor is the cheapest block (l = 16).
+            Backend::Frsz2Adaptive => 4,
+            // Codecs are ordered by their registered floor.
+            Backend::Codec { floor, .. } => {
+                if *floor <= 1e-10 {
+                    8
+                } else if *floor <= 1e-6 {
+                    4
+                } else {
+                    2
+                }
+            }
         }
     }
 

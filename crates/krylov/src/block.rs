@@ -76,7 +76,10 @@
 use crate::basis::Basis;
 use crate::basis_format::BasisFormat;
 use crate::diagnostics::{history_summary, HistorySummary};
-use crate::gmres::{givens, solve_driver, CycleEvent, GmresOptions, HistoryPoint, SolveStats};
+use crate::gmres::{
+    boundary_bookkeeping, givens, solve_driver, BoundaryDecision, CycleEvent, GmresOptions,
+    HistoryPoint, SolveStats,
+};
 use crate::precond::Preconditioner;
 use numfmt::ColumnStorage;
 use spla::dense::{axpy, norm2};
@@ -345,7 +348,7 @@ fn block_solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Si
 const PACK_WINDOW: usize = 4096;
 
 /// `buf[i * w + slot] = srcs[slot][i]` for all `i < n`, row-windowed.
-fn pack_interleaved(buf: &mut [f64], srcs: &[&[f64]], n: usize) {
+pub(crate) fn pack_interleaved(buf: &mut [f64], srcs: &[&[f64]], n: usize) {
     let w = srcs.len();
     let rows = (PACK_WINDOW / w).max(1);
     let mut i0 = 0;
@@ -361,7 +364,7 @@ fn pack_interleaved(buf: &mut [f64], srcs: &[&[f64]], n: usize) {
 }
 
 /// `out[i] = buf[i * w + slot]`: one column of a row-major block.
-fn gather_col(buf: &[f64], w: usize, slot: usize, out: &mut [f64]) {
+pub(crate) fn gather_col(buf: &[f64], w: usize, slot: usize, out: &mut [f64]) {
     for (i, o) in out.iter_mut().enumerate() {
         *o = buf[i * w + slot];
     }
@@ -375,7 +378,7 @@ fn scatter_col(buf: &mut [f64], w: usize, slot: usize, src: &[f64]) {
 }
 
 /// Column 2-norms of a row-major `n × w` block, one fused row pass.
-fn col_norms(buf: &[f64], w: usize, n: usize, out: &mut [f64]) {
+pub(crate) fn col_norms(buf: &[f64], w: usize, n: usize, out: &mut [f64]) {
     out[..w].fill(0.0);
     for i in 0..n {
         let row = &buf[i * w..i * w + w];
@@ -438,8 +441,9 @@ fn mgs_pass(wv: &mut [f64], w: usize, n: usize, r: &mut [f64], d: &mut [f64]) ->
 /// passes (MGS with full reorthogonalization — cheap at block width,
 /// and robust for the nearly-dependent seed blocks deflation
 /// produces), composing the triangular factors: `W = Q·(R₂R₁)` with
-/// the product written into `r`. Returns `false` on breakdown.
-fn mgs2_block(
+/// the product written into `r`. Returns `false` on breakdown. Also
+/// the conditional CholQR fallback of the s-step panel in `sstep.rs`.
+pub(crate) fn mgs2_block(
     wv: &mut [f64],
     w: usize,
     n: usize,
@@ -561,26 +565,15 @@ fn block_arnoldi_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
                 lane.r[i] = bs[k][i] - wbuf[i * wb + slot];
             }
             let rrn = norm2(&lane.r) / lane.bnorm;
-            lane.stats.final_rrn = rrn;
-            if opts.record_history {
-                lane.history.push(HistoryPoint {
-                    iteration: lane.stats.iterations,
-                    rrn,
-                    explicit: true,
-                });
-            }
-            if rrn <= opts.target_rrn {
-                lane.stats.converged = true;
-                lane.retire(start); // deflation: the block shrinks
-                continue;
-            }
-            if !rrn.is_finite() {
-                lane.retire(start);
-                continue;
-            }
-            if lane.stats.iterations >= opts.max_iters {
-                lane.retire(start);
-                continue;
+            // Shared boundary bookkeeping (identical to `solve_driver`):
+            // a converged lane deflates — the block shrinks — and a
+            // terminal lane (non-finite residual / budget) retires.
+            match boundary_bookkeeping(rrn, opts, &mut lane.stats, &mut lane.history) {
+                BoundaryDecision::Converged | BoundaryDecision::Terminal => {
+                    lane.retire(start);
+                    continue;
+                }
+                BoundaryDecision::Continue => {}
             }
             on_event(
                 k,
@@ -681,7 +674,10 @@ fn block_arnoldi_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
                 col_norms(&wbuf[..n * wa], wa, n, &mut pnorms);
                 for s in 0..wa {
                     if !frozen[s] {
-                        lanes[act[s]].stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+                        let st = &mut lanes[act[s]].stats;
+                        st.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+                        st.basis_dot_sweeps += 1;
+                        st.basis_gemv_sweeps += 1;
                     }
                 }
 
@@ -712,6 +708,8 @@ fn block_arnoldi_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
                             let st = &mut lanes[act[s]].stats;
                             st.reorthogonalizations += 1;
                             st.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+                            st.basis_dot_sweeps += 1;
+                            st.basis_gemv_sweeps += 1;
                         }
                     }
                 }
@@ -852,6 +850,7 @@ fn block_arnoldi_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
                 ys[i * wa + s] = if d != 0.0 { acc / d } else { 0.0 };
             }
             lane.stats.basis_bytes_read += q as u64 * col_bytes;
+            lane.stats.basis_gemv_sweeps += 1;
         }
         if kmax > 0 {
             basis

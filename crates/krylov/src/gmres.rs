@@ -89,6 +89,17 @@ pub struct SolveStats {
     pub basis_bytes_written: u64,
     /// Number of sparse matrix–vector products.
     pub spmv_count: u64,
+    /// Decode sweeps of the stored basis on the dot-product side of
+    /// orthogonalization: each sweep decompresses every current basis
+    /// column once, however many target vectors it serves (one for the
+    /// scalar driver, the whole panel for an s-step solve). This is the
+    /// quantity the s-step refactor reduces — `k` round trips per new
+    /// column collapse into one multi-column pass per panel.
+    pub basis_dot_sweeps: u64,
+    /// Decode sweeps of the stored basis on the update side (gemv/axpy
+    /// projections and the solution combine), counted like
+    /// [`SolveStats::basis_dot_sweeps`].
+    pub basis_gemv_sweeps: u64,
     /// Storage format label of the Krylov basis (the final one, for
     /// adaptive solves).
     pub format: String,
@@ -284,6 +295,8 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
         }
         basis.axpys(j + 1, &ws.neg, &mut ws.w);
         stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+        stats.basis_dot_sweeps += 1;
+        stats.basis_gemv_sweeps += 1;
 
         // Step 6.
         let mut hj1 = norm2(&ws.w);
@@ -303,6 +316,8 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
             }
             basis.axpys(j + 1, &ws.neg, &mut ws.w);
             stats.basis_bytes_read += 2 * (j as u64 + 1) * col_bytes;
+            stats.basis_dot_sweeps += 1;
+            stats.basis_gemv_sweeps += 1;
             hj1 = norm2(&ws.w); // step 10
             stats.reorthogonalizations += 1;
             broke_down = hj1 == 0.0 || hj1 < opts.reorth_eta * before; // step 12
@@ -398,6 +413,7 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
         }
         basis.combine(&ws.y[..j], &mut ws.z);
         stats.basis_bytes_read += j as u64 * col_bytes;
+        stats.basis_gemv_sweeps += 1;
         precond.apply(&ws.z, &mut ws.vj);
         axpy(1.0, &ws.vj, x);
     }
@@ -502,6 +518,58 @@ pub(crate) struct Boundary {
     pub(crate) last_implicit_rrn: Option<f64>,
 }
 
+/// What the shared restart-boundary bookkeeping decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BoundaryDecision {
+    /// Explicit residual reached the target; `stats.converged` is set.
+    Converged,
+    /// Terminal without convergence (non-finite explicit residual, or
+    /// the iteration budget is exhausted).
+    Terminal,
+    /// Run another cycle.
+    Continue,
+}
+
+/// The restart-boundary bookkeeping every driver shares — the scalar
+/// [`solve_driver`], the block driver in `block.rs`, and the s-step
+/// driver in `sstep.rs` all call this VERBATIM so their convergence
+/// semantics cannot drift apart (and committed fingerprints stay
+/// byte-identical across refactors).
+///
+/// Given the explicit `‖b − Ax‖/‖b‖` entering the boundary, in this
+/// exact order: stamp `stats.final_rrn`, push the explicit history
+/// point, then decide — converged (the ONLY place `converged` is ever
+/// set, always from the explicit residual, never the implicit Givens
+/// estimate), terminal (a non-finite residual cannot improve — every
+/// further comparison would be false and the solver would spin — or
+/// `max_iters` is exhausted), or continue.
+pub(crate) fn boundary_bookkeeping(
+    rrn: f64,
+    opts: &GmresOptions,
+    stats: &mut SolveStats,
+    history: &mut Vec<HistoryPoint>,
+) -> BoundaryDecision {
+    stats.final_rrn = rrn;
+    if opts.record_history {
+        history.push(HistoryPoint {
+            iteration: stats.iterations,
+            rrn,
+            explicit: true,
+        });
+    }
+    if rrn <= opts.target_rrn {
+        stats.converged = true;
+        return BoundaryDecision::Converged;
+    }
+    if !rrn.is_finite() {
+        return BoundaryDecision::Terminal;
+    }
+    if stats.iterations >= opts.max_iters {
+        return BoundaryDecision::Terminal;
+    }
+    BoundaryDecision::Continue
+}
+
 /// The one restarted-GMRES driver loop: explicit residual at every
 /// boundary (the ONLY place `converged` is decided — the implicit
 /// Givens estimate inside a cycle never sets it), then one
@@ -551,28 +619,14 @@ pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix 
     let mut last_implicit_rrn: Option<f64> = None;
 
     loop {
-        // Step 1 / step 18: explicit residual r = b - A x.
+        // Step 1 / step 18: explicit residual r = b - A x, then the
+        // shared boundary bookkeeping (final_rrn, explicit history
+        // point, converged/terminal decision).
         let beta = ws.explicit_residual(a, b, &x, &mut stats);
         let rrn = beta / bnorm;
-        stats.final_rrn = rrn;
-        if opts.record_history {
-            history.push(HistoryPoint {
-                iteration: stats.iterations,
-                rrn,
-                explicit: true,
-            });
-        }
-        if rrn <= opts.target_rrn {
-            stats.converged = true;
-            break;
-        }
-        // A non-finite explicit residual cannot improve — every further
-        // comparison would be false and the solver would spin.
-        if !rrn.is_finite() {
-            break;
-        }
-        if stats.iterations >= opts.max_iters {
-            break;
+        match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
+            BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
+            BoundaryDecision::Continue => {}
         }
 
         on_boundary(

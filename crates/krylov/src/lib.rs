@@ -31,6 +31,17 @@
 //! stay per-RHS; converged RHS deflate early while the space keeps
 //! expanding for the rest. At width 1 the driver delegates to
 //! [`gmres::gmres_with`], bit for bit.
+//!
+//! [`sstep`] amortizes the *per-iteration* decode traffic the same
+//! way [`block`] amortizes the per-RHS traffic: each outer step
+//! expands the space by `s` directions at once via the matrix-powers
+//! kernel (`spla`'s fused `spmv_powers_into`), orthogonalized in two
+//! stages — one fused block-CGS sweep of the compressed basis, then
+//! an intra-panel CholQR with MGS² fallback. A per-restart
+//! loss-of-orthogonality monitor gates `s` per basis format
+//! ([`basis_format::BasisFormat::max_sstep`]) and shrinks it to 1 on
+//! a breach; at `s = 1` the driver delegates to [`gmres::gmres_with`],
+//! bit for bit.
 
 #![warn(missing_docs)]
 
@@ -41,6 +52,7 @@ pub mod block;
 pub mod diagnostics;
 pub mod gmres;
 pub mod precond;
+pub mod sstep;
 
 pub use adaptive::{adaptive_gmres, adaptive_gmres_observed, AdaptiveOptions};
 pub use basis::Basis;
@@ -54,3 +66,7 @@ pub use gmres::{
     gmres, gmres_with, CycleEvent, GmresOptions, HistoryPoint, SolveResult, SolveStats,
 };
 pub use precond::{BlockJacobi, Identity, Jacobi, PrecondError, Preconditioner};
+pub use sstep::{
+    loo_budget, sstep_gmres_dyn, sstep_gmres_dyn_observed, sstep_gmres_with, SStepOptions,
+    SStepSolveResult,
+};

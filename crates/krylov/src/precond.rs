@@ -53,6 +53,15 @@ pub trait Preconditioner: Send + Sync {
 
     /// Display name for reports.
     fn name(&self) -> &'static str;
+
+    /// `true` when `M⁻¹` is exactly the identity map. The s-step driver
+    /// uses this to route the matrix-powers panel through the fused
+    /// [`spla::SparseMatrix::spmv_powers_into`] kernel; any non-trivial
+    /// preconditioner falls back to stepwise `apply` + `spmv` (which is
+    /// what the fused kernel computes bit-for-bit when `M = I`).
+    fn is_identity(&self) -> bool {
+        false
+    }
 }
 
 /// No preconditioning (`M = I`) — the paper's configuration.
@@ -67,6 +76,10 @@ impl Preconditioner for Identity {
 
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn is_identity(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,1149 @@
+//! s-step CB-GMRES: matrix-powers expansion with two-stage block
+//! orthogonalization over the compressed basis.
+//!
+//! Classical CB-GMRES (Fig. 1) generates one Krylov direction per
+//! inner step; each new column costs one operator apply plus **two
+//! decode sweeps** of every stored basis column (dots + axpys). The
+//! s-step variant (Chronopoulos/Gear lineage; see Yamazaki et al. for
+//! the communication-avoiding formulation) generates `s` directions
+//! per outer step from the monomial matrix-powers panel
+//! `P = [Bv_j, B²v_j, …, Bˢv_j]` (`B = A·M⁻¹`), so the
+//! orthogonalization against the compressed basis amortizes: **one**
+//! multi-column decode sweep ([`Basis::dots_many_with`] /
+//! [`Basis::axpys_many`]) serves all `s` panel columns where the
+//! scalar driver would pay `s` separate round trips. With an identity
+//! preconditioner the whole panel comes from the fused
+//! [`spla::SparseMatrix::spmv_powers_into`] kernel.
+//!
+//! Orthogonalization runs in two stages:
+//!
+//! 1. **Block CGS against the stored basis** — one fused
+//!    `dots_many`/`axpys_many` pair projects the panel against all `k`
+//!    current columns (exactly one dot sweep + one gemv sweep,
+//!    whatever `s` is).
+//! 2. **Intra-panel CholQR** — a serial `s × s` Gram matrix and its
+//!    Cholesky factor turn the projected panel into orthonormal
+//!    columns. When the Gram pivot collapses (monomial panels lose
+//!    ~one binade of conditioning per power) the driver falls back to
+//!    one corrective block-CGS sweep plus the MGS² factorization
+//!    shared with the block solver ([`crate::block`]).
+//!
+//! The Hessenberg columns are *recovered* from the change-of-basis
+//! coefficients (`hp`, the panel's projection onto the old columns,
+//! and `R`, the intra-panel triangular factor) rather than measured
+//! one apply at a time; the Givens least-squares recurrence then runs
+//! unchanged. Because the implicit estimate inherits the panel's
+//! conditioning on top of the storage loss, convergence remains
+//! decided **only** by the explicit residual at restart boundaries —
+//! the same contract as every other driver in this crate, enforced by
+//! the restart-boundary bookkeeping helper shared with
+//! [`mod@crate::gmres`] and [`crate::block`].
+//!
+//! **Loss-of-orthogonality (LOO) monitor.** Lossy storage floors
+//! interact with monomial conditioning: a panel that CholQR considers
+//! fine can still decompress into columns that have drifted from
+//! orthogonality. After every `s > 1` restart cycle the driver
+//! measures `max |(QᵀQ − I)_{ab}|` over the cycle's recorded columns
+//! (reading them back *through* the compressed store, so the measure
+//! sees exactly what the next cycle will) and compares it against a
+//! format-relative budget ([`loo_budget`]). One breach shrinks `s` to
+//! 1 for the rest of the solve — convergence evidence is untouched
+//! (explicit residual only); the solve just stops amortizing.
+//! Per-format admissible `s` lives in
+//! [`BasisFormat::max_sstep`], mirroring the measured
+//! `accuracy_floor` table.
+//!
+//! **`s = 1` delegates.** A requested or gated `s` of 1 routes to the
+//! scalar driver outright — bit-for-bit identical to
+//! [`crate::gmres::gmres_with`] / [`crate::basis_format::gmres_dyn`],
+//! the same contract the block solver keeps at width 1 (and enforced
+//! by the committed bench fingerprints).
+
+use crate::basis::{Basis, TARGET_CHUNK};
+use crate::basis_format::BasisFormat;
+use crate::block::{gather_col, mgs2_block, pack_interleaved};
+use crate::gmres::{
+    boundary_bookkeeping, givens, solve_driver, Boundary, BoundaryDecision, CycleEvent,
+    CycleOutcome, GmresOptions, HistoryPoint, SolveResult, SolveStats, Workspace,
+};
+use crate::precond::Preconditioner;
+use numfmt::ColumnStorage;
+use spla::dense::{axpy, norm2, scale};
+use spla::SparseMatrix;
+use std::time::Instant;
+
+/// Relative Gram-pivot threshold below which CholQR is abandoned for
+/// the corrective-sweep + MGS² fallback: a pivot this far under the
+/// largest diagonal means the panel has lost ≳10 digits of linear
+/// independence and the Cholesky factor would amplify noise into the
+/// recovered Hessenberg.
+const CHOLQR_PIVOT_RTOL: f64 = 1e-10;
+
+/// Headroom factor of [`loo_budget`] over the storage-induced LOO
+/// floor (`floor · √n`): decompression error alone puts every column
+/// pair within `~2·floor·√n` of orthogonal, and one block-CGS sweep
+/// over a well-conditioned panel stays within a small multiple of
+/// that. A breach therefore signals *conditioning* loss, not routine
+/// compression noise.
+pub const LOO_HEADROOM: f64 = 32.0;
+
+/// Format-relative loss-of-orthogonality budget for an `n`-row solve
+/// whose basis storage has worst-case per-value error `floor` (see
+/// [`BasisFormat::accuracy_floor`]): `LOO_HEADROOM · floor · √n`,
+/// clamped below by `1e-8` so that near-exact formats (whose floor is
+/// machine epsilon) still tolerate the ordinary rounding drift of a
+/// single classical Gram-Schmidt sweep.
+pub fn loo_budget(floor: f64, rows: usize) -> f64 {
+    let n = rows.max(2) as f64;
+    (LOO_HEADROOM * floor * n.sqrt()).max(1e-8)
+}
+
+/// Options of an s-step solve: the panel width on top of the scalar
+/// [`GmresOptions`].
+#[derive(Clone, Debug)]
+pub struct SStepOptions {
+    /// Krylov directions generated per outer step (panel width).
+    /// `1` delegates to the scalar driver bit-for-bit; larger values
+    /// are clamped per basis format by [`BasisFormat::max_sstep`] in
+    /// the `dyn` entry points.
+    pub s: usize,
+    /// Loss-of-orthogonality budget override. `None` derives the
+    /// format-relative default via [`loo_budget`].
+    pub loo_budget: Option<f64>,
+    /// The underlying solver options (restart length, target, ...).
+    pub gmres: GmresOptions,
+}
+
+impl Default for SStepOptions {
+    fn default() -> Self {
+        SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: GmresOptions::default(),
+        }
+    }
+}
+
+/// Result of an s-step solve: the scalar [`SolveResult`] plus the
+/// panel-width trajectory the LOO monitor produced.
+#[derive(Clone, Debug)]
+pub struct SStepSolveResult {
+    /// Solution, stats, and history — same shape and semantics as the
+    /// scalar solver (convergence from the explicit residual only).
+    pub solve: SolveResult,
+    /// Panel width used by each executed restart cycle, in order
+    /// (all `1`s for a delegated `s = 1` solve).
+    pub s_per_cycle: Vec<usize>,
+    /// Measured `max |(QᵀQ − I)_{ab}|` after each `s > 1` cycle, in
+    /// order (empty for a delegated solve — the monitor never runs).
+    pub loo_per_cycle: Vec<f64>,
+    /// Number of LOO budget breaches (each shrinks `s` to 1; at most 1
+    /// per solve since the width never grows back).
+    pub loo_breaches: usize,
+}
+
+/// Per-solve scratch of the s-step cycle, allocated once and reused
+/// across restarts (sized by `(n, m, s)`).
+struct PanelScratch {
+    /// Contiguous matrix powers `[Bv; B²v; …]`, `n · s`.
+    powers: Vec<f64>,
+    /// Row-major interleaved working panel, `n · s`.
+    wpanel: Vec<f64>,
+    /// Projection of the panel onto the stored columns (`hp[i·s + c] =
+    /// v_iᵀ p_c`), `(m+1) · s`; accumulates the corrective sweep.
+    hp: Vec<f64>,
+    /// Negated coefficients for `axpys_many`, `(m+1) · s`.
+    nbuf: Vec<f64>,
+    /// Intra-panel Gram matrix, `s · s`.
+    gram: Vec<f64>,
+    /// Intra-panel triangular factor `R` (CholQR or composed MGS²).
+    rfac: Vec<f64>,
+    /// Second MGS² factor scratch, `s · s`.
+    r2: Vec<f64>,
+    /// MGS row-pass scratch, `s`.
+    dcol: Vec<f64>,
+    /// Panel column norms entering orthogonalization, `s`.
+    omegas: Vec<f64>,
+    /// Panel column norms after the CGS sweep (DGKS shrink test), `s`.
+    pnorms: Vec<f64>,
+    /// Unrotated Hessenberg (column-major, ld = m+1) — the recovery
+    /// recurrence needs raw columns, while `ws.hess` holds the
+    /// Givens-rotated triangle.
+    hraw: Vec<f64>,
+    /// One recovered raw Hessenberg column, `m + 1`.
+    pvec: Vec<f64>,
+    /// LOO dot products, `m + 1`.
+    loo: Vec<f64>,
+}
+
+impl PanelScratch {
+    fn new(n: usize, m: usize, s: usize) -> Self {
+        PanelScratch {
+            powers: vec![0.0; n * s],
+            wpanel: vec![0.0; n * s],
+            hp: vec![0.0; (m + 1) * s],
+            nbuf: vec![0.0; (m + 1) * s],
+            gram: vec![0.0; s * s],
+            rfac: vec![0.0; s * s],
+            r2: vec![0.0; s * s],
+            dcol: vec![0.0; s],
+            omegas: vec![0.0; s],
+            pnorms: vec![0.0; s],
+            hraw: vec![0.0; (m + 1) * m],
+            pvec: vec![0.0; m + 1],
+            loo: vec![0.0; m + 1],
+        }
+    }
+}
+
+/// Gram + upper-Cholesky factorization of the row-major `n × s` panel.
+/// Fills `rfac` (row-major upper, `rfac[u·s + c]`, `u ≤ c`) and
+/// returns `false` when a pivot falls under `CHOLQR_PIVOT_RTOL` times
+/// the largest Gram diagonal (or anything is non-finite) — the
+/// caller's cue to take the MGS² fallback.
+fn cholqr_factor(wpanel: &[f64], s: usize, n: usize, gram: &mut [f64], rfac: &mut [f64]) -> bool {
+    gram[..s * s].fill(0.0);
+    for i in 0..n {
+        let row = &wpanel[i * s..(i + 1) * s];
+        for a in 0..s {
+            let va = row[a];
+            for b in a..s {
+                gram[a * s + b] += va * row[b];
+            }
+        }
+    }
+    let mut gmax = 0.0f64;
+    for a in 0..s {
+        gmax = gmax.max(gram[a * s + a]);
+    }
+    if gmax == 0.0 || !gmax.is_finite() {
+        return false;
+    }
+    rfac[..s * s].fill(0.0);
+    for c in 0..s {
+        let mut d = gram[c * s + c];
+        for u in 0..c {
+            d -= rfac[u * s + c] * rfac[u * s + c];
+        }
+        if d.is_nan() || d <= gmax * CHOLQR_PIVOT_RTOL {
+            return false;
+        }
+        let dc = d.sqrt();
+        rfac[c * s + c] = dc;
+        let inv = 1.0 / dc;
+        for t in c + 1..s {
+            let mut acc = gram[c * s + t];
+            for u in 0..c {
+                acc -= rfac[u * s + c] * rfac[u * s + t];
+            }
+            rfac[c * s + t] = acc * inv;
+        }
+    }
+    true
+}
+
+/// `W ← W·R⁻¹` in place on the row-major `n × s` panel (row-wise
+/// forward substitution against the upper-triangular `rfac`).
+fn trsm_rows(wpanel: &mut [f64], s: usize, n: usize, rfac: &[f64]) {
+    for i in 0..n {
+        let row = &mut wpanel[i * s..(i + 1) * s];
+        for c in 0..s {
+            let mut acc = row[c];
+            for u in 0..c {
+                acc -= rfac[u * s + c] * row[u];
+            }
+            row[c] = acc / rfac[c * s + c];
+        }
+    }
+}
+
+/// One s-step restart cycle: panels of `s_cur` matrix-powers
+/// directions, two-stage orthogonalization, Hessenberg recovery, then
+/// the same least-squares update as the scalar [`crate::gmres`] cycle.
+/// The caller owns the explicit-residual boundary (via
+/// [`boundary_bookkeeping`]); only implicit history points are pushed
+/// here.
+#[allow(clippy::too_many_arguments)]
+fn run_sstep_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    precond: &P,
+    opts: &GmresOptions,
+    basis: &mut Basis<S>,
+    ws: &mut Workspace,
+    px: &mut PanelScratch,
+    x: &mut [f64],
+    beta: f64,
+    bnorm: f64,
+    stats: &mut SolveStats,
+    history: &mut Vec<HistoryPoint>,
+    captured: &mut Option<Vec<f64>>,
+    s_cur: usize,
+) -> CycleOutcome {
+    let n = x.len();
+    let m = ws.m;
+    let ld = ws.ld;
+    let mut outcome = CycleOutcome {
+        steps: 0,
+        breakdown: false,
+        non_finite: false,
+        last_implicit_rrn: None,
+    };
+
+    // v1 = r / beta, stored compressed (step 1 of Fig. 1).
+    scale(1.0 / beta, &mut ws.r);
+    basis.write(0, &ws.r);
+    let col_bytes = basis.column_bytes() as u64;
+    stats.basis_bytes_written += col_bytes;
+    if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+        let mut cap = vec![0.0; n];
+        basis.read_column(0, &mut cap);
+        *captured = Some(cap);
+    }
+    ws.g.fill(0.0);
+    ws.g[0] = beta;
+    // The recovery recurrence consumes raw (unrotated) columns of the
+    // whole cycle so far; reset per cycle.
+    px.hraw.fill(0.0);
+
+    let mut j = 0usize;
+    'outer: while j < m && stats.iterations < opts.max_iters {
+        let k = j + 1; // stored columns the panel orthogonalizes against
+        let s_eff = s_cur.min(m - j);
+
+        // Matrix-powers expansion: P = [Bv_j, B²v_j, …] with
+        // B = A·M⁻¹. Identity preconditioning takes the fused kernel
+        // (bit-identical to the stepwise loop); anything else applies
+        // M⁻¹ between powers.
+        basis.read_column(j, &mut ws.vj);
+        stats.basis_bytes_read += col_bytes;
+        if precond.is_identity() {
+            a.spmv_powers_into(&ws.vj, &mut px.powers[..n * s_eff], s_eff);
+        } else {
+            for p in 0..s_eff {
+                let (done, rest) = px.powers.split_at_mut(p * n);
+                let src: &[f64] = if p == 0 { &ws.vj } else { &done[(p - 1) * n..] };
+                precond.apply(src, &mut ws.z);
+                a.spmv(&ws.z, &mut rest[..n]);
+            }
+        }
+        stats.spmv_count += s_eff as u64;
+        {
+            let refs: Vec<&[f64]> = px.powers[..n * s_eff].chunks(n).collect();
+            pack_interleaved(&mut px.wpanel[..n * s_eff], &refs, n);
+        }
+
+        // Stage 1: ONE block-CGS sweep against the stored basis — the
+        // whole point of the s-step formulation: one dot sweep + one
+        // gemv sweep serve all s_eff new directions.
+        crate::block::col_norms(&px.wpanel[..n * s_eff], s_eff, n, &mut px.omegas);
+        basis.dots_many_with(
+            k,
+            &px.wpanel[..n * s_eff],
+            s_eff,
+            &mut px.hp[..k * s_eff],
+            &mut ws.dot_partials,
+        );
+        for (nv, &hv) in px.nbuf[..k * s_eff].iter_mut().zip(&px.hp[..k * s_eff]) {
+            *nv = -hv;
+        }
+        basis.axpys_many(k, &px.nbuf[..k * s_eff], &mut px.wpanel[..n * s_eff], s_eff);
+        stats.basis_bytes_read += 2 * k as u64 * col_bytes;
+        stats.basis_dot_sweeps += 1;
+        stats.basis_gemv_sweeps += 1;
+
+        // DGKS shrink test, panel-wide (same rule as the scalar cycle
+        // and the block driver): if any panel column lost most of its
+        // mass to the projection, one more fused sweep pair — still
+        // amortized over all s_eff directions where the scalar driver
+        // pays it per column.
+        crate::block::col_norms(&px.wpanel[..n * s_eff], s_eff, n, &mut px.pnorms);
+        if px.pnorms[..s_eff]
+            .iter()
+            .zip(&px.omegas[..s_eff])
+            .any(|(&p, &o)| p.is_finite() && o.is_finite() && p < opts.reorth_eta * o)
+        {
+            basis.dots_many_with(
+                k,
+                &px.wpanel[..n * s_eff],
+                s_eff,
+                &mut px.nbuf[..k * s_eff],
+                &mut ws.dot_partials,
+            );
+            for i in 0..k * s_eff {
+                px.hp[i] += px.nbuf[i];
+                px.nbuf[i] = -px.nbuf[i];
+            }
+            basis.axpys_many(k, &px.nbuf[..k * s_eff], &mut px.wpanel[..n * s_eff], s_eff);
+            stats.basis_bytes_read += 2 * k as u64 * col_bytes;
+            stats.basis_dot_sweeps += 1;
+            stats.basis_gemv_sweeps += 1;
+            stats.reorthogonalizations += 1;
+        }
+
+        // Stage 2: intra-panel CholQR; on an ill-conditioned Gram,
+        // one corrective block-CGS sweep (the panel has then also lost
+        // orthogonality to V) followed by MGS².
+        if cholqr_factor(
+            &px.wpanel[..n * s_eff],
+            s_eff,
+            n,
+            &mut px.gram,
+            &mut px.rfac,
+        ) {
+            trsm_rows(&mut px.wpanel[..n * s_eff], s_eff, n, &px.rfac);
+        } else {
+            basis.dots_many_with(
+                k,
+                &px.wpanel[..n * s_eff],
+                s_eff,
+                &mut px.nbuf[..k * s_eff],
+                &mut ws.dot_partials,
+            );
+            for i in 0..k * s_eff {
+                px.hp[i] += px.nbuf[i];
+                px.nbuf[i] = -px.nbuf[i];
+            }
+            basis.axpys_many(k, &px.nbuf[..k * s_eff], &mut px.wpanel[..n * s_eff], s_eff);
+            stats.basis_bytes_read += 2 * k as u64 * col_bytes;
+            stats.basis_dot_sweeps += 1;
+            stats.basis_gemv_sweeps += 1;
+            stats.reorthogonalizations += 1;
+            if !mgs2_block(
+                &mut px.wpanel[..n * s_eff],
+                s_eff,
+                n,
+                &mut px.rfac,
+                &mut px.r2,
+                &mut px.dcol,
+            ) {
+                stats.breakdowns += 1;
+                outcome.breakdown = true;
+                break 'outer;
+            }
+        }
+        if px.hp[..k * s_eff].iter().any(|v| !v.is_finite())
+            || px.rfac[..s_eff * s_eff].iter().any(|v| !v.is_finite())
+        {
+            stats.breakdowns += 1;
+            outcome.breakdown = true;
+            outcome.non_finite = true;
+            break 'outer;
+        }
+
+        // Hessenberg recovery: with P = V·hp + Q·R and the monomial
+        // shift B·p_c = p_{c+1},
+        //   column j     (B v_j   = p_0):  rows i<k ← hp[i,0],
+        //                                  row  k   ← R[0,0];
+        //   column j+c   (B q_{c-1}, c≥1): ( coeffs(p_c)
+        //                                    − Σ_i  hp[i,c−1]·hraw[:,i]
+        //                                    − Σ_u  R[u,c−1]·hraw[:,j+1+u] )
+        //                                  / R[c−1,c−1], u ≤ c−2,
+        // where coeffs(p_c) are hp[:,c] on the old rows and R[:,c] on
+        // the panel rows. Each recovered column then runs the ordinary
+        // Givens recurrence.
+        let jbase = j;
+        for c in 0..s_eff {
+            let jc = jbase + c;
+            {
+                let col = &mut px.pvec[..jc + 2];
+                col.fill(0.0);
+                for (i, cv) in col.iter_mut().enumerate().take(k) {
+                    *cv = px.hp[i * s_eff + c];
+                }
+                for u in 0..=c {
+                    col[k + u] = px.rfac[u * s_eff + c];
+                }
+                if c > 0 {
+                    for (i, hcol) in px.hraw.chunks(ld).enumerate().take(k) {
+                        let coef = px.hp[i * s_eff + (c - 1)];
+                        if coef != 0.0 {
+                            for (cv, &hv) in col[..i + 2].iter_mut().zip(&hcol[..i + 2]) {
+                                *cv -= coef * hv;
+                            }
+                        }
+                    }
+                    for u in 0..c - 1 {
+                        let coef = px.rfac[u * s_eff + (c - 1)];
+                        let src = jbase + 1 + u;
+                        if coef != 0.0 {
+                            for (cv, &hv) in col[..src + 2]
+                                .iter_mut()
+                                .zip(&px.hraw[src * ld..src * ld + src + 2])
+                            {
+                                *cv -= coef * hv;
+                            }
+                        }
+                    }
+                    let dvsr = px.rfac[(c - 1) * s_eff + (c - 1)];
+                    if dvsr == 0.0 || !dvsr.is_finite() {
+                        stats.breakdowns += 1;
+                        outcome.breakdown = true;
+                        break 'outer;
+                    }
+                    let inv = 1.0 / dvsr;
+                    for v in col.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                if col.iter().any(|v| !v.is_finite()) {
+                    stats.breakdowns += 1;
+                    outcome.breakdown = true;
+                    outcome.non_finite = true;
+                    break 'outer;
+                }
+            }
+            px.hraw[jc * ld..jc * ld + jc + 2].copy_from_slice(&px.pvec[..jc + 2]);
+
+            // Givens least-squares recurrence, identical to the scalar
+            // cycle's step 16.
+            for (row, &hv) in px.pvec[..jc + 2].iter().enumerate() {
+                ws.hess[jc * ld + row] = hv;
+            }
+            for i in 0..jc {
+                let (hi, hi1) = (ws.hess[jc * ld + i], ws.hess[jc * ld + i + 1]);
+                ws.hess[jc * ld + i] = ws.cs[i] * hi + ws.sn[i] * hi1;
+                ws.hess[jc * ld + i + 1] = -ws.sn[i] * hi + ws.cs[i] * hi1;
+            }
+            let (cg, sg) = givens(ws.hess[jc * ld + jc], ws.hess[jc * ld + jc + 1]);
+            ws.cs[jc] = cg;
+            ws.sn[jc] = sg;
+            ws.hess[jc * ld + jc] = cg * ws.hess[jc * ld + jc] + sg * ws.hess[jc * ld + jc + 1];
+            ws.hess[jc * ld + jc + 1] = 0.0;
+            ws.g[jc + 1] = -sg * ws.g[jc];
+            ws.g[jc] *= cg;
+
+            stats.iterations += 1;
+            let implicit_rrn = ws.g[jc + 1].abs() / bnorm;
+            outcome.last_implicit_rrn = Some(implicit_rrn);
+            if opts.record_history {
+                history.push(HistoryPoint {
+                    iteration: stats.iterations,
+                    rrn: implicit_rrn,
+                    explicit: false,
+                });
+            }
+            j = jc + 1;
+
+            // The implicit estimate reaching the target only ENDS THE
+            // CYCLE (never sets `converged`); remaining panel columns
+            // are discarded, like the scalar cycle discards its
+            // unbuilt columns.
+            if implicit_rrn <= opts.target_rrn || stats.iterations >= opts.max_iters {
+                break 'outer;
+            }
+
+            // Store q_c as basis column jc+1 (compressed write) — the
+            // next panel and the final combine read it back through
+            // the accessor like every other column.
+            gather_col(&px.wpanel[..n * s_eff], s_eff, c, &mut ws.w);
+            basis.write(jc + 1, &ws.w);
+            stats.basis_bytes_written += col_bytes;
+            if opts.capture_basis_at == Some(stats.iterations) && captured.is_none() {
+                let mut cap = vec![0.0; n];
+                basis.read_column(jc + 1, &mut cap);
+                *captured = Some(cap);
+            }
+        }
+    }
+    outcome.steps = j;
+
+    // Least-squares solve + solution update, identical to the scalar
+    // cycle's step 17.
+    if j >= 1 {
+        let y = &mut ws.y[..j];
+        for i in (0..j).rev() {
+            let mut acc = ws.g[i];
+            for (kk, yk) in y.iter().enumerate().skip(i + 1) {
+                acc -= ws.hess[kk * ld + i] * yk;
+            }
+            let d = ws.hess[i * ld + i];
+            y[i] = if d != 0.0 { acc / d } else { 0.0 };
+        }
+        basis.combine(&ws.y[..j], &mut ws.z);
+        stats.basis_bytes_read += j as u64 * col_bytes;
+        stats.basis_gemv_sweeps += 1;
+        precond.apply(&ws.z, &mut ws.vj);
+        axpy(1.0, &ws.vj, x);
+    }
+    stats.restarts += 1;
+    outcome
+}
+
+/// Measure `max |(QᵀQ − I)_{ab}|` over the first `k` stored basis
+/// columns, reading each column back through the compressed store.
+/// Diagnostics only: the `k(k+1)/2` column decodes are charged to
+/// `basis_bytes_read` but NOT to the sweep counters, which count
+/// solver work (the quantity s-step reduces), not monitoring.
+fn measure_loo<S: ColumnStorage>(
+    basis: &Basis<S>,
+    k: usize,
+    ws: &mut Workspace,
+    px: &mut PanelScratch,
+    stats: &mut SolveStats,
+) -> f64 {
+    let col_bytes = basis.column_bytes() as u64;
+    let mut worst = 0.0f64;
+    for c in 0..k {
+        basis.read_column(c, &mut ws.vj);
+        basis.dots_with(c + 1, &ws.vj, &mut px.loo[..c + 1], &mut ws.dot_partials);
+        stats.basis_bytes_read += (c as u64 + 2) * col_bytes;
+        for (i, &d) in px.loo[..c + 1].iter().enumerate() {
+            let target = if i == c { 1.0 } else { 0.0 };
+            let dev = (d - target).abs();
+            if !dev.is_finite() {
+                return f64::INFINITY;
+            }
+            worst = worst.max(dev);
+        }
+    }
+    worst
+}
+
+/// The s-step driver loop: the same boundary structure as the scalar
+/// [`solve_driver`] (explicit residual → shared bookkeeping → hook →
+/// cycle), with the LOO monitor gating `s` between cycles. `s_init`
+/// arrives pre-gated by the caller; `s_init == 1` delegates to
+/// [`solve_driver`] outright, bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    sopts: &SStepOptions,
+    precond: &P,
+    basis: Basis<S>,
+    budget: f64,
+    s_init: usize,
+    mut on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
+) -> SStepSolveResult {
+    let opts = &sopts.gmres;
+    if s_init <= 1 {
+        let solve = solve_driver(a, b, x0, opts, precond, basis, on_boundary);
+        let cycles = solve.stats.restarts;
+        return SStepSolveResult {
+            solve,
+            s_per_cycle: vec![1; cycles],
+            loo_per_cycle: Vec::new(),
+            loo_breaches: 0,
+        };
+    }
+
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "GMRES needs a square matrix");
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    assert!(opts.restart >= 1);
+    let m = opts.restart;
+    let mut basis = basis;
+
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+    let mut history = Vec::new();
+    let mut captured: Option<Vec<f64>> = None;
+    let mut s_per_cycle = Vec::new();
+    let mut loo_per_cycle = Vec::new();
+    let mut loo_breaches = 0usize;
+    stats.format = basis.format_name();
+
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        stats.converged = true;
+        stats.final_rrn = 0.0;
+        stats.wall_time = start.elapsed();
+        return SStepSolveResult {
+            solve: SolveResult {
+                x: vec![0.0; n],
+                stats,
+                history,
+                captured_basis_vector: None,
+            },
+            s_per_cycle,
+            loo_per_cycle,
+            loo_breaches,
+        };
+    }
+
+    let mut x = x0.to_vec();
+    let mut ws = Workspace::new(n, m);
+    // Pre-size the shared partial buffer for the widest dots_many the
+    // panel can issue (k ≤ m columns × s_init targets) so cycles never
+    // grow it mid-solve.
+    let max_chunks = n.div_ceil(TARGET_CHUNK);
+    ws.dot_partials.resize(max_chunks * (m + 1) * s_init, 0.0);
+    let mut px = PanelScratch::new(n, m, s_init);
+    let mut s_cur = s_init;
+    let mut prev_explicit_rrn: Option<f64> = None;
+    let mut last_implicit_rrn: Option<f64> = None;
+
+    loop {
+        let beta = ws.explicit_residual(a, b, &x, &mut stats);
+        let rrn = beta / bnorm;
+        match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
+            BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
+            BoundaryDecision::Continue => {}
+        }
+
+        on_boundary(
+            &Boundary {
+                explicit_rrn: rrn,
+                prev_explicit_rrn,
+                last_implicit_rrn,
+            },
+            &mut basis,
+            &mut stats,
+        );
+
+        stats.format_trajectory.push(basis.format_name());
+        s_per_cycle.push(s_cur);
+        let out = run_sstep_cycle(
+            a,
+            precond,
+            opts,
+            &mut basis,
+            &mut ws,
+            &mut px,
+            &mut x,
+            beta,
+            bnorm,
+            &mut stats,
+            &mut history,
+            &mut captured,
+            s_cur,
+        );
+
+        // LOO monitor: measure the cycle's recorded columns through the
+        // store; one breach shrinks s to 1 for the rest of the solve.
+        if s_cur > 1 && out.steps > 0 {
+            let loo = measure_loo(&basis, out.steps, &mut ws, &mut px, &mut stats);
+            loo_per_cycle.push(loo);
+            // NaN counts as a breach: a non-finite measure means the
+            // stored columns are unusable for a wide panel.
+            if loo.is_nan() || loo > budget {
+                s_cur = 1;
+                loo_breaches += 1;
+            }
+        }
+
+        if out.steps == 0 {
+            break;
+        }
+        prev_explicit_rrn = Some(rrn);
+        last_implicit_rrn = out.last_implicit_rrn;
+    }
+
+    stats.basis_bits_per_value = if n > 0 {
+        basis.column_bytes() as f64 * 8.0 / n as f64
+    } else {
+        0.0
+    };
+    stats.wall_time = start.elapsed();
+    SStepSolveResult {
+        solve: SolveResult {
+            x,
+            stats,
+            history,
+            captured_basis_vector: captured,
+        },
+        s_per_cycle,
+        loo_per_cycle,
+        loo_breaches,
+    }
+}
+
+/// s-step CB-GMRES with an explicit basis-store factory (the s-step
+/// analogue of [`crate::gmres::gmres_with`]). With `sopts.s == 1` the
+/// returned solve is bit-for-bit identical to `gmres_with` on the same
+/// inputs. The default LOO budget assumes exact (f64) storage; pass
+/// `sopts.loo_budget` or use [`sstep_gmres_dyn`] for format-relative
+/// gating.
+pub fn sstep_gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    sopts: &SStepOptions,
+    precond: &P,
+    make_store: impl FnOnce(usize, usize) -> S,
+) -> SStepSolveResult {
+    let basis = Basis::from_store(make_store(a.rows(), sopts.gmres.restart + 1));
+    let budget = sopts
+        .loo_budget
+        .unwrap_or_else(|| loo_budget(f64::powi(2.0, -52), a.rows()));
+    sstep_driver(
+        a,
+        b,
+        x0,
+        sopts,
+        precond,
+        basis,
+        budget,
+        sopts.s.max(1),
+        |_, _, _| {},
+    )
+}
+
+/// s-step CB-GMRES over a runtime-selected basis format: `s` is gated
+/// at [`BasisFormat::max_sstep`] and the LOO budget derives from the
+/// format's [`BasisFormat::accuracy_floor`] (unless overridden). A
+/// requested or gated `s` of 1 is bit-for-bit
+/// [`crate::basis_format::gmres_dyn`].
+pub fn sstep_gmres_dyn<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    sopts: &SStepOptions,
+    precond: &P,
+    format: &dyn BasisFormat,
+) -> SStepSolveResult {
+    sstep_gmres_dyn_observed(a, b, x0, sopts, precond, format, |_| {})
+}
+
+/// [`sstep_gmres_dyn`] with the per-cycle telemetry observer of
+/// [`crate::basis_format::gmres_dyn_observed`]: one [`CycleEvent`] per
+/// executed restart cycle, emitted before the cycle runs. The observer
+/// cannot influence the solve.
+pub fn sstep_gmres_dyn_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    sopts: &SStepOptions,
+    precond: &P,
+    format: &dyn BasisFormat,
+    mut observe: impl FnMut(&CycleEvent),
+) -> SStepSolveResult {
+    let basis = Basis::from_store(format.create(a.rows(), sopts.gmres.restart + 1));
+    let gated = sopts.s.max(1).min(format.max_sstep().max(1));
+    let budget = sopts
+        .loo_budget
+        .unwrap_or_else(|| loo_budget(format.accuracy_floor(), a.rows()));
+    sstep_driver(
+        a,
+        b,
+        x0,
+        sopts,
+        precond,
+        basis,
+        budget,
+        gated,
+        |boundary, basis, stats| {
+            observe(&CycleEvent::at_boundary(boundary, basis, stats));
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis_format::by_name;
+    use crate::gmres::gmres_with;
+    use crate::precond::{Identity, Jacobi};
+    use frsz2::{Frsz2Config, Frsz2Store};
+    use numfmt::DenseStore;
+    use spla::dense::manufactured_rhs;
+    use spla::gen;
+
+    fn test_system() -> (spla::Csr, Vec<f64>, Vec<f64>) {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.4, 0.2, 0.1], 0.2);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        (a, b, x0)
+    }
+
+    fn opts(target: f64) -> GmresOptions {
+        GmresOptions {
+            target_rrn: target,
+            max_iters: 4000,
+            ..GmresOptions::default()
+        }
+    }
+
+    #[test]
+    fn s_one_is_bit_identical_to_gmres_with() {
+        let (a, b, x0) = test_system();
+        let o = opts(1e-9);
+        let cfg = Frsz2Config::new(32, 21);
+        let scalar = gmres_with(&a, &b, &x0, &o, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        let sopts = SStepOptions {
+            s: 1,
+            loo_budget: None,
+            gmres: o,
+        };
+        let sstep = sstep_gmres_with(&a, &b, &x0, &sopts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        assert!(scalar.stats.converged && sstep.solve.stats.converged);
+        assert_eq!(sstep.solve.stats.iterations, scalar.stats.iterations);
+        assert_eq!(sstep.solve.history.len(), scalar.history.len());
+        for (p, q) in sstep.solve.history.iter().zip(&scalar.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history must match");
+        }
+        for (u, v) in sstep.solve.x.iter().zip(&scalar.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "solution must match");
+        }
+        assert_eq!(
+            sstep.solve.stats.basis_dot_sweeps,
+            scalar.stats.basis_dot_sweeps
+        );
+        assert_eq!(
+            sstep.solve.stats.basis_gemv_sweeps,
+            scalar.stats.basis_gemv_sweeps
+        );
+        assert!(sstep.s_per_cycle.iter().all(|&s| s == 1));
+        assert!(sstep.loo_per_cycle.is_empty());
+        assert_eq!(sstep.loo_breaches, 0);
+    }
+
+    #[test]
+    fn sstep_converges_with_fewer_sweeps_than_scalar() {
+        let (a, b, x0) = test_system();
+        let o = opts(1e-9);
+        let cfg = Frsz2Config::new(32, 21);
+        let scalar = gmres_with(&a, &b, &x0, &o, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        for s in [2, 4, 8] {
+            let sopts = SStepOptions {
+                s,
+                loo_budget: None,
+                gmres: o.clone(),
+            };
+            let fmt = by_name("frsz2_21").unwrap();
+            let r = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+            assert!(r.solve.stats.converged, "s={s} must converge");
+            assert!(r.solve.stats.final_rrn <= 1e-9, "s={s} explicit target");
+            let scalar_sweeps = scalar.stats.basis_dot_sweeps + scalar.stats.basis_gemv_sweeps;
+            let sstep_sweeps = r.solve.stats.basis_dot_sweeps + r.solve.stats.basis_gemv_sweeps;
+            assert!(
+                sstep_sweeps < scalar_sweeps,
+                "s={s}: {sstep_sweeps} sweeps must undercut scalar {scalar_sweeps}"
+            );
+            assert_eq!(r.loo_breaches, 0, "s={s}: no breach expected here");
+            assert!(r.s_per_cycle.iter().all(|&sv| sv == s));
+        }
+    }
+
+    #[test]
+    fn sstep_float64_matches_scalar_iteration_count_closely() {
+        // Exact storage, well-conditioned operator: the recovered
+        // Hessenberg is accurate enough that s-step needs at most a
+        // handful of extra iterations over scalar GMRES.
+        let (a, b, x0) = test_system();
+        let o = opts(1e-10);
+        let scalar = gmres_with(&a, &b, &x0, &o, &Identity, DenseStore::<f64>::with_shape);
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: o,
+        };
+        let r = sstep_gmres_with(
+            &a,
+            &b,
+            &x0,
+            &sopts,
+            &Identity,
+            DenseStore::<f64>::with_shape,
+        );
+        assert!(r.solve.stats.converged);
+        assert!(
+            r.solve.stats.iterations <= scalar.stats.iterations + 2 * scalar.stats.restarts + 8,
+            "s-step {} vs scalar {} iterations",
+            r.solve.stats.iterations,
+            scalar.stats.iterations
+        );
+    }
+
+    #[test]
+    fn sstep_supports_non_identity_preconditioner() {
+        let (a, b, x0) = test_system();
+        let jac = Jacobi::new(&a);
+        assert!(!jac.is_identity());
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: opts(1e-9),
+        };
+        let r = sstep_gmres_with(&a, &b, &x0, &sopts, &jac, DenseStore::<f64>::with_shape);
+        assert!(r.solve.stats.converged, "rrn {}", r.solve.stats.final_rrn);
+        // The explicit-residual contract holds regardless of precond.
+        let last = r.solve.history.last().unwrap();
+        assert!(last.explicit);
+        assert!(last.rrn <= 1e-9);
+    }
+
+    #[test]
+    fn forced_loo_breach_shrinks_s_without_breaking_convergence() {
+        let (a, b, x0) = test_system();
+        let sopts = SStepOptions {
+            s: 4,
+            // Impossible budget: even pure f64 rounding breaches it.
+            loo_budget: Some(1e-30),
+            gmres: opts(1e-9),
+        };
+        let cfg = Frsz2Config::new(32, 21);
+        let r = sstep_gmres_with(&a, &b, &x0, &sopts, &Identity, |rows, cols| {
+            Frsz2Store::with_config(cfg, rows, cols)
+        });
+        assert!(r.loo_breaches >= 1, "budget 1e-30 must breach");
+        assert_eq!(r.s_per_cycle[0], 4, "first cycle runs at requested s");
+        // After the breach every later cycle runs at s = 1.
+        if r.s_per_cycle.len() > 1 {
+            assert!(r.s_per_cycle[1..].iter().all(|&s| s == 1));
+        }
+        // Convergence evidence untouched: explicit-only contract.
+        assert!(r.solve.stats.converged, "rrn {}", r.solve.stats.final_rrn);
+        let last = r.solve.history.last().unwrap();
+        assert!(last.explicit);
+        assert!(last.rrn <= 1e-9);
+    }
+
+    #[test]
+    fn every_registered_format_reports_finite_loo_and_respects_gate() {
+        // Property over the whole registry (satellite: LOO tests).
+        let a = gen::conv_diff_3d(6, 6, 6, [0.3, 0.2, 0.1], 0.3);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; a.rows()];
+        for name in crate::basis_format::names() {
+            let fmt = by_name(&name).unwrap();
+            let cap = fmt.max_sstep();
+            assert!(cap >= 1, "{name}: cap must admit scalar solves");
+            let sopts = SStepOptions {
+                s: 64, // far above every cap: the gate must clamp
+                loo_budget: None,
+                gmres: GmresOptions {
+                    target_rrn: 1e-4,
+                    max_iters: 400,
+                    restart: 20,
+                    ..GmresOptions::default()
+                },
+            };
+            let r = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+            assert!(
+                r.s_per_cycle.iter().all(|&s| s <= cap),
+                "{name}: gated s exceeded max_sstep {cap}"
+            );
+            for (i, &loo) in r.loo_per_cycle.iter().enumerate() {
+                assert!(loo.is_finite(), "{name}: cycle {i} LOO not finite");
+                assert!(loo >= 0.0, "{name}: cycle {i} LOO negative");
+            }
+            if cap > 1 {
+                // An s > 1 cycle must have been measured (unless the
+                // solve finished in zero cycles, impossible here).
+                assert_eq!(
+                    r.loo_per_cycle.len(),
+                    r.s_per_cycle.iter().filter(|&&s| s > 1).count(),
+                    "{name}: one LOO sample per s>1 cycle"
+                );
+            } else {
+                assert!(r.loo_per_cycle.is_empty(), "{name}: s=1 never measures");
+            }
+        }
+    }
+
+    #[test]
+    fn format_gate_clamps_float16_to_its_table_entry() {
+        let fmt = by_name("float16").unwrap();
+        assert_eq!(fmt.max_sstep(), 2);
+        let (a, b, x0) = test_system();
+        let sopts = SStepOptions {
+            s: 8,
+            loo_budget: None,
+            gmres: GmresOptions {
+                target_rrn: 1e-3,
+                max_iters: 1000,
+                ..GmresOptions::default()
+            },
+        };
+        let r = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+        assert!(r.s_per_cycle.iter().all(|&s| s <= 2));
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = spla::Csr::identity(12);
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: opts(1e-12),
+        };
+        let r = sstep_gmres_with(
+            &a,
+            &[0.0; 12],
+            &[1.0; 12],
+            &sopts,
+            &Identity,
+            DenseStore::<f64>::with_shape,
+        );
+        assert!(r.solve.stats.converged);
+        assert!(r.solve.x.iter().all(|&v| v == 0.0));
+        assert_eq!(r.solve.stats.iterations, 0);
+    }
+
+    #[test]
+    fn sstep_is_deterministic() {
+        let (a, b, x0) = test_system();
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: opts(1e-9),
+        };
+        let fmt = by_name("frsz2_21").unwrap();
+        let r1 = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+        let r2 = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+        assert_eq!(r1.solve.stats.iterations, r2.solve.stats.iterations);
+        assert_eq!(r1.solve.history.len(), r2.solve.history.len());
+        for (p, q) in r1.solve.history.iter().zip(&r2.solve.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+        }
+        for (u, v) in r1.solve.x.iter().zip(&r2.solve.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        assert_eq!(r1.loo_per_cycle.len(), r2.loo_per_cycle.len());
+        for (p, q) in r1.loo_per_cycle.iter().zip(&r2.loo_per_cycle) {
+            assert_eq!(p.to_bits(), q.to_bits(), "LOO must be deterministic");
+        }
+    }
+
+    #[test]
+    fn observed_matches_unobserved_and_reports_cycles() {
+        let (a, b, x0) = test_system();
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: GmresOptions {
+                restart: 20,
+                target_rrn: 1e-8,
+                max_iters: 3000,
+                ..GmresOptions::default()
+            },
+        };
+        let fmt = by_name("frsz2_32").unwrap();
+        let mut events = Vec::new();
+        let observed =
+            sstep_gmres_dyn_observed(&a, &b, &x0, &sopts, &Identity, fmt.as_ref(), |e| {
+                events.push(e.clone())
+            });
+        let plain = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+        assert!(observed.solve.stats.converged);
+        assert_eq!(
+            observed.solve.stats.iterations,
+            plain.solve.stats.iterations
+        );
+        for (u, v) in observed.solve.x.iter().zip(&plain.solve.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        assert_eq!(events.len(), observed.solve.stats.restarts);
+        assert!(events.iter().all(|e| e.format == "frsz2_32"));
+    }
+
+    #[test]
+    fn loo_budget_is_format_relative_and_clamped() {
+        // frsz2_21 on 8000 rows: well above the exact-storage clamp.
+        let lossy = loo_budget(f64::powi(2.0, -19), 8000);
+        assert!(lossy > 1e-4 && lossy < 1.0);
+        // Exact storage: clamped at 1e-8.
+        assert_eq!(loo_budget(f64::powi(2.0, -52), 8000), 1e-8);
+        // Monotone in the floor.
+        assert!(loo_budget(1e-3, 4096) > loo_budget(1e-6, 4096));
+    }
+}

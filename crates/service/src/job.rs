@@ -36,10 +36,23 @@ pub struct JobSpec {
     /// determinism contract makes the result bit-identical for *any*
     /// value here.
     pub threads: usize,
+    /// Krylov directions generated per outer step (the s-step panel
+    /// width). `1` (the default) runs the scalar driver; larger values
+    /// route `Fixed`/`Auto` jobs through
+    /// [`krylov::sstep_gmres_dyn_observed`], which clamps the request
+    /// per basis format
+    /// ([`krylov::BasisFormat::max_sstep`](krylov::basis_format::BasisFormat::max_sstep))
+    /// and shrinks to 1 on a loss-of-orthogonality breach.
+    /// [`BasisSelection::Adaptive`] ignores this knob — the adaptive
+    /// driver owns its own cycle policy. Values are clamped up to 1 at
+    /// admission, and the uncompressed f64 panel scratch is charged
+    /// against the basis budget.
+    pub sstep: usize,
 }
 
 impl JobSpec {
-    /// A single-threaded, auto-format job with default solver options.
+    /// A single-threaded, auto-format, scalar (`sstep = 1`) job with
+    /// default solver options.
     pub fn new(operator: impl Into<String>, b: Vec<f64>) -> Self {
         JobSpec {
             operator: operator.into(),
@@ -48,6 +61,7 @@ impl JobSpec {
             basis: BasisSelection::Auto,
             opts: GmresOptions::default(),
             threads: 1,
+            sstep: 1,
         }
     }
 }

@@ -6,8 +6,9 @@ use crate::job::{BasisSelection, BlockJobSpec, JobEvent, JobSpec, RhsEvent};
 use crate::operator::{AnalyzedOperator, OperatorInfo, PrecondSpec};
 use krylov::basis_format::{self, BasisFormat};
 use krylov::{
-    adaptive_gmres_observed, block_gmres_dyn_observed, gmres_dyn_observed, AdaptiveOptions,
-    BlockSolveResult, CycleEvent, GmresOptions, SolveResult,
+    adaptive_gmres_observed, block_gmres_dyn_observed, gmres_dyn_observed,
+    sstep_gmres_dyn_observed, AdaptiveOptions, BlockSolveResult, CycleEvent, GmresOptions,
+    SStepOptions, SolveResult,
 };
 use spla::Csr;
 use std::collections::HashMap;
@@ -28,18 +29,28 @@ pub struct ServiceConfig {
 /// `rows` values at the format's nominal rate (Eq. 3 for FRSZ2), times
 /// the `restart + 1` columns a cycle stores, times the `width` lanes of
 /// a block job (each RHS keeps its own compressed Krylov lane — pass
-/// `1` for a single-RHS job). This is the number admission control
-/// charges against the budget — an a-priori bound, deliberately
-/// computed from the *registry* rate rather than a live store, so
-/// rejection happens before any allocation.
+/// `1` for a single-RHS job). An `sstep > 1` job additionally holds the
+/// uncompressed f64 s-step panel — the matrix-powers buffer plus the
+/// interleaved working panel, two `rows · sstep` f64 arrays — which is
+/// charged on top (pass `1` for a scalar job; the panel lives once per
+/// job, not per lane). This is the number admission control charges
+/// against the budget — an a-priori bound, deliberately computed from
+/// the *registry* rate rather than a live store, so rejection happens
+/// before any allocation.
 pub fn estimated_basis_bytes(
     format: &dyn BasisFormat,
     rows: usize,
     restart: usize,
     width: usize,
+    sstep: usize,
 ) -> u64 {
     let column = (format.bits_per_value(rows) * rows as f64 / 8.0).ceil() as u64;
-    column * (restart as u64 + 1) * width as u64
+    let panel = if sstep > 1 {
+        2 * 8 * rows as u64 * sstep as u64
+    } else {
+        0
+    };
+    column * (restart as u64 + 1) * width as u64 + panel
 }
 
 /// Worst-case basis reservation of an adaptive job: the escalation
@@ -211,8 +222,11 @@ impl SolverService {
             )),
             BasisSelection::Adaptive => None,
         };
+        let sstep = spec.sstep.max(1);
         let requested = match &format {
-            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, 1),
+            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, 1, sstep),
+            // The adaptive driver owns its own cycle policy and ignores
+            // the s-step knob, so no panel scratch is charged.
             None => estimated_adaptive_basis_bytes(rows, spec.opts.restart, 1),
         };
         let _reservation = self.ledger.admit(&spec.operator, requested)?;
@@ -230,6 +244,22 @@ impl SolverService {
             .build()
             .expect("job thread pool");
         let result = pool.install(|| match &format {
+            Some(f) if sstep > 1 => {
+                sstep_gmres_dyn_observed(
+                    op.matrix.as_ref(),
+                    &spec.b,
+                    x0,
+                    &SStepOptions {
+                        s: sstep,
+                        loo_budget: None,
+                        gmres: spec.opts.clone(),
+                    },
+                    &op.precond,
+                    f.as_ref(),
+                    &mut observe,
+                )
+                .solve
+            }
             Some(f) => gmres_dyn_observed(
                 op.matrix.as_ref(),
                 &spec.b,
@@ -325,7 +355,7 @@ impl SolverService {
             BasisSelection::Adaptive => None,
         };
         let requested = match &format {
-            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, width),
+            Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, width, 1),
             None => estimated_adaptive_basis_bytes(rows, spec.opts.restart, width),
         };
         let _reservation = self.ledger.admit(&spec.operator, requested)?;
@@ -550,7 +580,7 @@ mod tests {
         let (a, b) = smooth();
         let fmt = basis_format::by_name("float64").unwrap();
         let opts = GmresOptions::default();
-        let needed = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
+        let needed = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1, 1);
         let service = SolverService::new(ServiceConfig {
             basis_budget_bytes: Some(needed - 1),
             admission: AdmissionPolicy::Reject,
@@ -573,11 +603,65 @@ mod tests {
     }
 
     #[test]
+    fn sstep_panel_scratch_is_charged_and_gates_admission() {
+        let (a, b) = smooth();
+        let fmt = basis_format::by_name("frsz2_21").unwrap();
+        let opts = GmresOptions::default();
+        let scalar = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1, 1);
+        let panel = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1, 8);
+        // The s-step job carries the two uncompressed f64 panels
+        // (matrix powers + working panel) on top of the basis columns.
+        assert_eq!(panel, scalar + 2 * 8 * a.rows() as u64 * 8);
+        // Budget fits the scalar job but not the panel scratch.
+        let service = SolverService::new(ServiceConfig {
+            basis_budget_bytes: Some(scalar),
+            admission: AdmissionPolicy::Reject,
+        });
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let mut wide = job("smooth", b.clone(), "frsz2_21", 1e-6);
+        wide.sstep = 8;
+        let denied = service.solve(&wide).unwrap_err();
+        assert!(matches!(
+            denied,
+            ServiceError::BudgetExceeded { requested, budget, .. }
+                if requested == panel && budget == scalar
+        ));
+        // The same job at sstep = 1 is admitted and converges.
+        let ok = service.solve(&job("smooth", b, "frsz2_21", 1e-6)).unwrap();
+        assert!(ok.stats.converged);
+        assert_eq!(service.basis_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn sstep_job_converges_with_fewer_basis_sweeps() {
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let scalar = service
+            .solve(&job("smooth", b.clone(), "frsz2_21", 1e-8))
+            .unwrap();
+        let mut fast = job("smooth", b, "frsz2_21", 1e-8);
+        fast.sstep = 4;
+        let sstep = service.solve(&fast).unwrap();
+        assert!(scalar.stats.converged && sstep.stats.converged);
+        assert!(
+            sstep.stats.basis_dot_sweeps < scalar.stats.basis_dot_sweeps,
+            "s-step job must amortize decode sweeps: {} vs {}",
+            sstep.stats.basis_dot_sweeps,
+            scalar.stats.basis_dot_sweeps
+        );
+    }
+
+    #[test]
     fn queue_policy_serializes_jobs_instead_of_rejecting() {
         let (a, b) = smooth();
         let fmt = basis_format::by_name("frsz2_21").unwrap();
         let opts = GmresOptions::default();
-        let one_job = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
+        let one_job = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1, 1);
         // Budget fits exactly one job at a time.
         let service = SolverService::new(ServiceConfig {
             basis_budget_bytes: Some(one_job + one_job / 2),
@@ -703,9 +787,9 @@ mod tests {
         let (a, _) = smooth();
         let fmt = basis_format::by_name("frsz2_21").unwrap();
         let opts = GmresOptions::default();
-        let one_lane = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1);
+        let one_lane = estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 1, 1);
         assert_eq!(
-            estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 16),
+            estimated_basis_bytes(fmt.as_ref(), a.rows(), opts.restart, 16, 1),
             16 * one_lane
         );
         assert_eq!(

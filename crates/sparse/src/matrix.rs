@@ -148,6 +148,54 @@ pub trait SparseMatrix: Send + Sync {
         });
     }
 
+    /// `ys[(p-1)·rows..][..rows] := Aᵖ x` for `p in 1..=s` — the
+    /// matrix-powers expansion of s-step GMRES. One call produces the
+    /// whole monomial panel `[Ax, A²x, …, Aˢx]` without returning to
+    /// the caller between applications, so the format's row structure
+    /// (pointers, slice descriptors) is walked from hot state `s`
+    /// times back to back.
+    ///
+    /// The bit-identity contract is inherited from `spmv`: every power
+    /// step `p` applies the operator to the finished power `p−1`
+    /// through the same `ROW_CHUNK` chunk geometry with serial per-row
+    /// accumulation in CSR entry order. Because each power consumes
+    /// the *complete* previous power (a global dependency), steps are
+    /// not tiled *across* powers — the fusion is in the repeated
+    /// apply, not in ghost-region pipelining — and the result is
+    /// bit-identical to `s` separate [`SparseMatrix::spmv`] calls on
+    /// any format at any thread count. Enforced by the property tests
+    /// in `crates/sparse/tests/proptests.rs`.
+    ///
+    /// The default tiles over [`SparseMatrix::for_each_in_row`];
+    /// [`crate::Csr`], [`crate::Ell`], and [`crate::SellCSigma`]
+    /// override it with kernels that hoist their array borrows out of
+    /// the power loop.
+    ///
+    /// # Panics
+    /// If `s == 0`, the matrix is not square, `x.len() != cols`, or
+    /// `ys.len() != rows*s`.
+    fn spmv_powers_into(&self, x: &[f64], ys: &mut [f64], s: usize) {
+        assert!(s >= 1, "spmv_powers s must be positive");
+        assert_eq!(
+            self.rows(),
+            self.cols(),
+            "matrix powers need a square operator"
+        );
+        assert_eq!(x.len(), self.cols(), "x length mismatch");
+        assert_eq!(ys.len(), self.rows() * s, "ys length mismatch");
+        let n = self.rows();
+        for p in 0..s {
+            let (done, rest) = ys.split_at_mut(p * n);
+            let src: &[f64] = if p == 0 { x } else { &done[(p - 1) * n..] };
+            let dst = &mut rest[..n];
+            par_over_rows(dst, |i| {
+                let mut acc = 0.0;
+                self.for_each_in_row(i, &mut |c, v| acc += v * src[c as usize]);
+                acc
+            });
+        }
+    }
+
     /// Main-diagonal entries (zero where the diagonal is absent).
     fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.rows().min(self.cols())];

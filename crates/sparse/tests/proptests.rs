@@ -246,6 +246,51 @@ proptest! {
         }
     }
 
+    /// `spmv_powers_into` (default tiled AND the CSR/ELL/SELL
+    /// overrides) reproduces `s` successive `spmv` calls bit for bit on
+    /// arbitrary generated square matrices at several panel depths.
+    #[test]
+    fn formats_spmv_powers_bit_identical_to_repeated_spmv(
+        trips in triplets(20),
+        x in prop::collection::vec(-2.0f64..2.0, 20),
+        c in 1usize..9,
+        sigma in 1usize..40,
+    ) {
+        let n = 20;
+        let mut coo = Coo::new(n, n);
+        for &(r, c, v) in &trips {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        let formats: [Box<dyn SparseMatrix>; 3] = [
+            Box::new(a.clone()),
+            Box::new(Ell::from_csr(&a)),
+            Box::new(SellCSigma::from_csr(&a, c, sigma)),
+        ];
+        for s in [1usize, 2, 5, 8] {
+            // Reference: s chained spmv calls.
+            let mut reference = vec![0.0; n * s];
+            let mut src = x.clone();
+            for p in 0..s {
+                let mut y = vec![0.0; n];
+                a.spmv(&src, &mut y);
+                reference[p * n..(p + 1) * n].copy_from_slice(&y);
+                src = y;
+            }
+            for m in &formats {
+                let mut ys = vec![0.0; n * s];
+                m.spmv_powers_into(&x, &mut ys, s);
+                for (i, (got, want)) in ys.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} s {} slot {}", m.format_name(), s, i
+                    );
+                }
+            }
+        }
+    }
+
     /// dot/axpy/norm2 satisfy basic algebraic identities.
     #[test]
     fn vector_kernel_identities(
@@ -269,9 +314,10 @@ proptest! {
     }
 }
 
-/// Forwards everything to CSR *except* `spmm_into`, so the trait's
-/// default tiled implementation (over `for_each_in_row`) is exercised
-/// by the cross-thread-count block test below.
+/// Forwards everything to CSR *except* `spmm_into` and
+/// `spmv_powers_into`, so the traits' default tiled implementations
+/// (over `for_each_in_row`) are exercised by the cross-thread-count
+/// tests below.
 struct DefaultSpmm(spla::Csr);
 
 impl SparseMatrix for DefaultSpmm {
@@ -352,6 +398,63 @@ fn formats_spmm_bit_identical_across_thread_counts() {
                         got.to_bits(),
                         want.to_bits(),
                         "{} width {width} slot {i} at {threads} threads",
+                        m.format_name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The matrix-powers panel agrees with chained serial CSR SpMV
+/// *bitwise* on a matrix spanning many parallel row chunks, for every
+/// format (plus the trait-default tiling), under pools of 1, 2 and 8
+/// threads, at panel depths 1, 2, 4 and 8 — the s-step arm of the
+/// determinism contract.
+#[test]
+fn formats_spmv_powers_bit_identical_across_thread_counts() {
+    let n = 6000;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0 + ((i % 11) as f64) * 0.125);
+        for k in 0..(i % 6) {
+            let c = (i + 13 * (k + 1)) % n;
+            if c != i {
+                coo.push(i, c, -0.3 - (k as f64) * 0.05);
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.29).sin()).collect();
+    let formats: [Box<dyn SparseMatrix>; 4] = [
+        Box::new(a.clone()),
+        Box::new(Ell::from_csr(&a)),
+        Box::new(SellCSigma::from_csr(&a, 32, 256)),
+        Box::new(DefaultSpmm(a.clone())),
+    ];
+    for s in [1usize, 2, 4, 8] {
+        // Chained serial CSR reference.
+        let mut reference = vec![0.0; n * s];
+        let mut src = x.clone();
+        for p in 0..s {
+            let mut y = vec![0.0; n];
+            a.spmv_serial(&src, &mut y);
+            reference[p * n..(p + 1) * n].copy_from_slice(&y);
+            src = y;
+        }
+        for m in &formats {
+            for threads in [1usize, 2, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let mut ys = vec![0.0; n * s];
+                pool.install(|| m.spmv_powers_into(&x, &mut ys, s));
+                for (i, (got, want)) in ys.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} s {s} slot {i} at {threads} threads",
                         m.format_name()
                     );
                 }

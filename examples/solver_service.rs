@@ -145,6 +145,7 @@ fn main() {
         smooth.rows(),
         frsz2_repro::krylov::GmresOptions::default().restart,
         1,
+        1,
     );
     let budgeted = SolverService::new(ServiceConfig {
         basis_budget_bytes: Some(f64_cost - 1),
