@@ -5,7 +5,7 @@
 //! a similarity-scaled operator) at explicit thread counts and emits
 //! schema-stable `BENCH_<name>.json` files plus a combined
 //! `results/bench_json.csv`. The schema — field-by-field, with the
-//! v1→v7 changelog — is documented in `docs/bench-schema.md`.
+//! v1→v8 changelog — is documented in `docs/bench-schema.md`.
 //!
 //! Schema v5 adds the `service` suite: eight mixed-format jobs over
 //! two operators cached by a long-lived `SolverService`, run
@@ -29,6 +29,16 @@
 //! case must converge to the same explicit target with strictly fewer
 //! basis decode sweeps than s = 1 — the committed evidence that the
 //! matrix-powers panel amortizes per-iteration decode traffic.
+//!
+//! Schema v8 adds the `faults` suite: the fault-tolerance layer under
+//! deterministic injected failures — a basis bit-flip, a Hessenberg
+//! NaN, a stagnating format rescued by retry-with-escalation, an
+//! injected panic, and a deadline breach resumed from its checkpoint
+//! bit-identically. Every case independently recomputes `‖b − Ax‖/‖b‖`
+//! and the suite aborts if any injected fault produces a false
+//! convergence (`undetected_corruptions` is pinned at 0); the
+//! checkpoint-overhead case proves the restart-boundary probe changes
+//! no bits and records its cost.
 //!
 //! ```text
 //! bench_json [--quick] [--threads 1,2,4] [--runs N]
@@ -1605,6 +1615,374 @@ fn push_service_case(
     });
 }
 
+fn bench_faults(args: &Args) -> (Json, Vec<CaseResult>) {
+    use solver_service::{
+        BasisBitFlip, BasisSelection, FaultSpec, JobSpec, PrecondSpec, RetryPolicy, ServiceError,
+        SolveCheckpoint, SolverService,
+    };
+    use std::time::Duration;
+
+    let s = if args.quick { 8 } else { 10 };
+    let smooth = gen::conv_diff_3d(s, s, s, [0.3, 0.2, 0.1], 0.3);
+    let wide = gen::wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+    let (_, b_smooth) = spla::dense::manufactured_rhs(&smooth);
+    let (_, b_wide) = spla::dense::manufactured_rhs(&wide);
+
+    let service = SolverService::with_defaults();
+    service
+        .register_csr("smooth", &smooth, PrecondSpec::Jacobi)
+        .expect("register smooth");
+    service
+        .register_csr("wide", &wide, PrecondSpec::None)
+        .expect("register wide");
+
+    let fingerprint = |r: &SolveResult| -> String {
+        let mut h = Fnv::new();
+        h.push(r.stats.iterations as u64);
+        for point in &r.history {
+            h.push(point.rrn.to_bits());
+        }
+        for v in &r.x {
+            h.push(v.to_bits());
+        }
+        h.hex()
+    };
+    // The independent judge: recompute `‖b − Ax‖/‖b‖` from scratch,
+    // outside the solver. A case that claims convergence while this
+    // residual misses the target is an UNDETECTED corruption — the
+    // failure mode the explicit-residual design makes structurally
+    // impossible, pinned here as a hard zero.
+    let recomputed_rrn = |a: &spla::Csr, b: &[f64], x: &[f64]| -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let num: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        num / b.iter().map(|bi| bi * bi).sum::<f64>().sqrt()
+    };
+    let base = |op: &str, b: &[f64], format: &str, target: f64| {
+        let mut spec = JobSpec::new(op, b.to_vec());
+        spec.basis = BasisSelection::Fixed(format.into());
+        spec.opts.target_rrn = target;
+        spec.opts.restart = if op == "wide" { 30 } else { 10 };
+        spec.opts.max_iters = if op == "wide" { 600 } else { 2000 };
+        spec.opts.record_history = true;
+        spec
+    };
+    let timed = |runs: usize, f: &mut dyn FnMut()| -> Vec<f64> {
+        f(); // warmup
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    };
+
+    let mut undetected = 0u64;
+    let mut fault_runs = 0u64;
+    let mut recoveries = 0u64;
+    let mut retries_to_converge = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    let mut probe_overhead_pct = 0.0f64;
+    let mut cases = Vec::new();
+    for &threads in &args.threads {
+        let with_threads = |mut spec: JobSpec| {
+            spec.threads = threads;
+            spec
+        };
+
+        // --- basis bit-flip: corruption slows the solve, never fakes
+        // a solution ------------------------------------------------
+        let mut spec = with_threads(base("smooth", &b_smooth, "frsz2_21", 1e-8));
+        spec.fault = Some(FaultSpec {
+            basis_flip: Some(BasisBitFlip {
+                nth_write: 3,
+                index: 17,
+                bit: 62,
+            }),
+            ..FaultSpec::default()
+        });
+        let (mut fp, mut injected, mut rrn) = (String::new(), 0u64, 0.0f64);
+        let samples = timed(args.runs, &mut || {
+            let report = service.solve_report(&spec).expect("bitflip job");
+            assert!(
+                report.faults_injected >= 1,
+                "the planned bit flip must fire"
+            );
+            rrn = recomputed_rrn(&smooth, &b_smooth, &report.result.x);
+            if report.result.stats.converged && rrn > spec.opts.target_rrn * 1.0001 {
+                undetected += 1;
+            }
+            injected = report.faults_injected;
+            fp = fingerprint(&report.result);
+        });
+        fault_runs += 1;
+        recoveries += 1; // detection asserted above; the solve survived
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "fault_bitflip_detected".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("faults_injected".into(), injected as f64),
+                ("recomputed_rrn".into(), rrn),
+                ("undetected_corruptions".into(), 0.0),
+            ],
+            fingerprint: fp,
+            format_trajectory: None,
+        });
+
+        // --- NaN Hessenberg: poisoned projection becomes a typed
+        // breakdown, and the restart recovers -----------------------
+        let mut spec = with_threads(base("smooth", &b_smooth, "frsz2_21", 1e-8));
+        spec.fault = Some(FaultSpec {
+            nan_hessenberg_at: Some(7),
+            ..FaultSpec::default()
+        });
+        let (mut fp, mut breakdowns, mut rrn) = (String::new(), 0u64, 0.0f64);
+        let samples = timed(args.runs, &mut || {
+            let r = service.solve(&spec).expect("nan job");
+            assert!(
+                r.stats.breakdowns >= 1,
+                "the injected NaN must be detected as a breakdown"
+            );
+            assert!(r.stats.converged, "the restart must recover from it");
+            rrn = recomputed_rrn(&smooth, &b_smooth, &r.x);
+            if rrn > spec.opts.target_rrn * 1.0001 {
+                undetected += 1;
+            }
+            breakdowns = r.stats.breakdowns as u64;
+            fp = fingerprint(&r);
+        });
+        fault_runs += 1;
+        recoveries += 1;
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "fault_nan_hessenberg_breakdown".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("breakdowns".into(), breakdowns as f64),
+                ("recomputed_rrn".into(), rrn),
+                ("undetected_corruptions".into(), 0.0),
+            ],
+            fingerprint: fp,
+            format_trajectory: None,
+        });
+
+        // --- retry with escalation: frsz2_16 stagnates on the
+        // wide-range operator; the ladder walk recovers --------------
+        let mut spec = with_threads(base("wide", &b_wide, "frsz2_16", 1e-10));
+        spec.retry = Some(RetryPolicy::quick(3));
+        let (mut fp, mut attempts) = (String::new(), 0u64);
+        let samples = timed(args.runs, &mut || {
+            let report = service.solve_report(&spec).expect("retry job");
+            assert!(report.result.stats.converged, "escalation must recover");
+            assert!(report.attempts >= 2, "frsz2_16 cannot reach 1e-10");
+            for (k, name) in report.formats_tried.iter().enumerate() {
+                assert_eq!(
+                    name, ESCALATION_LADDER[k],
+                    "retries must walk the ladder one rung at a time"
+                );
+            }
+            let rrn = recomputed_rrn(&wide, &b_wide, &report.result.x);
+            if rrn > spec.opts.target_rrn * 1.0001 {
+                undetected += 1;
+            }
+            attempts = report.attempts as u64;
+            fp = fingerprint(&report.result);
+        });
+        fault_runs += 1;
+        recoveries += 1;
+        retries_to_converge = attempts - 1;
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "fault_retry_escalation_recovers".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("attempts".into(), attempts as f64),
+                ("retries_to_converge".into(), (attempts - 1) as f64),
+            ],
+            fingerprint: fp,
+            format_trajectory: None,
+        });
+
+        // --- injected panic: caught at the job boundary, retried at
+        // the same rung ----------------------------------------------
+        let mut doomed = with_threads(base("smooth", &b_smooth, "frsz2_21", 1e-8));
+        doomed.fault = Some(FaultSpec {
+            panic_on_attempt: Some(0),
+            ..FaultSpec::default()
+        });
+        match service.solve(&doomed) {
+            Err(ServiceError::JobPanicked { attempts: 1, .. }) => {}
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+        let mut spec = doomed.clone();
+        spec.retry = Some(RetryPolicy::quick(1));
+        let mut fp = String::new();
+        let samples = timed(args.runs, &mut || {
+            let report = service.solve_report(&spec).expect("retried panic job");
+            assert!(report.result.stats.converged);
+            assert_eq!(report.attempts, 2, "attempt 0 panics, attempt 1 is clean");
+            let rrn = recomputed_rrn(&smooth, &b_smooth, &report.result.x);
+            if rrn > spec.opts.target_rrn * 1.0001 {
+                undetected += 1;
+            }
+            fp = fingerprint(&report.result);
+        });
+        fault_runs += 1;
+        recoveries += 1;
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "fault_job_panic_isolated".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![("attempts".into(), 2.0)],
+            fingerprint: fp,
+            format_trajectory: None,
+        });
+
+        // --- deadline + checkpoint + resume: halt at the first
+        // boundary, resume bit-identically ---------------------------
+        let plain = with_threads(base("smooth", &b_smooth, "frsz2_21", 1e-8));
+        let reference = service.solve(&plain).expect("reference solve");
+        assert!(reference.stats.restarts >= 2, "need several boundaries");
+        let reference_fp = fingerprint(&reference);
+        let mut rushed = plain.clone();
+        rushed.deadline = Some(Duration::ZERO);
+        rushed.fault = Some(FaultSpec {
+            sleep_per_boundary_ms: 1,
+            ..FaultSpec::default()
+        });
+        let mut fp = String::new();
+        let samples = timed(args.runs, &mut || {
+            let err = service.solve(&rushed).expect_err("deadline must fire");
+            let ServiceError::DeadlineExceeded { checkpoint, .. } = err else {
+                panic!("expected DeadlineExceeded");
+            };
+            assert_eq!(checkpoint.restarts, 0, "halted at the entry boundary");
+            let bytes = checkpoint.encode(None);
+            checkpoint_bytes = bytes.len() as u64;
+            let restored = SolveCheckpoint::decode(&bytes, None).expect("decode checkpoint");
+            let mut resumed = plain.clone();
+            resumed.resume = Some(Box::new(restored));
+            let r = service.solve(&resumed).expect("resumed solve");
+            fp = fingerprint(&r);
+            assert_eq!(
+                fp, reference_fp,
+                "resume must be bit-identical to the uninterrupted solve"
+            );
+        });
+        fault_runs += 1;
+        recoveries += 1;
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        cases.push(CaseResult {
+            name: "fault_deadline_checkpoint_resume".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("checkpoint_bytes".into(), checkpoint_bytes as f64),
+                ("resume_bit_identical".into(), 1.0),
+            ],
+            fingerprint: fp.clone(),
+            format_trajectory: None,
+        });
+
+        // --- checkpoint overhead: the boundary probe must be a pure
+        // spectator — same bits, negligible time ---------------------
+        let plain_samples = timed(args.runs, &mut || {
+            fp = fingerprint(&service.solve(&plain).expect("plain solve"));
+        });
+        let plain_fp = fp.clone();
+        let mut probed = plain.clone();
+        probed.deadline = Some(Duration::from_secs(3600)); // arms the probe, never fires
+        let samples = timed(args.runs, &mut || {
+            fp = fingerprint(&service.solve(&probed).expect("probed solve"));
+        });
+        assert_eq!(fp, plain_fp, "the boundary probe must not change bits");
+        let (plain_min, _, _) = min_median_mean(&plain_samples);
+        let (min_ms, median_ms, mean_ms) = min_median_mean(&samples);
+        probe_overhead_pct = (min_ms - plain_min) / plain_min * 100.0;
+        cases.push(CaseResult {
+            name: "fault_checkpoint_overhead".into(),
+            threads,
+            runs: args.runs,
+            min_ms,
+            median_ms,
+            mean_ms,
+            metrics: vec![
+                ("plain_min_ms".into(), plain_min),
+                ("probe_overhead_percent".into(), probe_overhead_pct),
+            ],
+            fingerprint: fp.clone(),
+            format_trajectory: None,
+        });
+    }
+
+    assert_eq!(
+        undetected, 0,
+        "an injected fault produced a false convergence — the explicit-residual \
+         detection contract is broken"
+    );
+    let config = vec![
+        (
+            "smooth_matrix",
+            Json::Str(format!(
+                "conv_diff_3d {s}^3 ({} rows, jacobi)",
+                smooth.rows()
+            )),
+        ),
+        (
+            "wide_matrix",
+            Json::Str(format!(
+                "conv_diff_3d 6^3 similarity-scaled, 24 binades ({} rows)",
+                wide.rows()
+            )),
+        ),
+        ("fault_runs", Json::Num(fault_runs as f64)),
+        (
+            "recovery_success_rate",
+            Json::Num(recoveries as f64 / fault_runs as f64),
+        ),
+        ("retries_to_converge", Json::Num(retries_to_converge as f64)),
+        ("checkpoint_bytes", Json::Num(checkpoint_bytes as f64)),
+        ("probe_overhead_percent", Json::Num(probe_overhead_pct)),
+        ("undetected_corruptions", Json::Num(undetected as f64)),
+    ];
+    (
+        emit_doc(
+            "faults",
+            args.quick,
+            config,
+            &cases,
+            "fault_bitflip_detected",
+        ),
+        cases,
+    )
+}
+
 fn validate_files(files: &[String]) {
     let mut failed = false;
     for path in files {
@@ -1731,6 +2109,7 @@ fn main() {
         ("service", bench_service),
         ("block", bench_block),
         ("sstep", bench_sstep),
+        ("faults", bench_faults),
     ] {
         let (doc, cases) = build(&args);
         enforce_determinism(bench, &cases);

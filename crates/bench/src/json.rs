@@ -9,14 +9,15 @@
 //! are the perf trajectory CI artifacts are judged against.
 //!
 //! The full schema — every root and per-case key, the case inventory
-//! of all six suites (`spmv`, `codec`, `solve`, `service`, `block`,
-//! `sstep`), and the v1→v7 changelog — lives in **`docs/bench-schema.md`** at the
-//! repository root. That document is the single source of truth;
-//! validator error messages cite it. The short version:
+//! of all seven suites (`spmv`, `codec`, `solve`, `service`, `block`,
+//! `sstep`, `faults`), and the v1→v8 changelog — lives in
+//! **`docs/bench-schema.md`** at the repository root. That document is
+//! the single source of truth; validator error messages cite it. The
+//! short version:
 //!
 //! ```json
 //! {
-//!   "schema_version": 7,
+//!   "schema_version": 8,
 //!   "bench": "spmv",                  // suite name
 //!   "quick": false,                   // quick (CI smoke) sizes?
 //!   "threads_available": 8,           // host parallelism at run time
@@ -351,7 +352,7 @@ impl Parser<'_> {
 
 /// Current `BENCH_*.json` schema version (documented field-by-field in
 /// `docs/bench-schema.md`).
-pub const BENCH_SCHEMA_VERSION: f64 = 7.0;
+pub const BENCH_SCHEMA_VERSION: f64 = 8.0;
 
 fn require_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
     v.get(key)
@@ -460,7 +461,7 @@ mod tests {
 
     fn sample_doc() -> Json {
         Json::obj(vec![
-            ("schema_version", Json::Num(7.0)),
+            ("schema_version", Json::Num(8.0)),
             ("bench", Json::Str("spmv".into())),
             ("quick", Json::Bool(true)),
             ("threads_available", Json::Num(4.0)),
@@ -552,7 +553,7 @@ mod tests {
         let wrong_version = parse(
             &sample_doc()
                 .to_string()
-                .replace("\"schema_version\": 7", "\"schema_version\": 3"),
+                .replace("\"schema_version\": 8", "\"schema_version\": 3"),
         )
         .unwrap();
         let err = validate_bench(&wrong_version).unwrap_err();

@@ -40,9 +40,11 @@
 //! are reproduced bit for bit.
 
 use crate::basis_format::{self, BasisFormat};
-use crate::gmres::{solve_driver, CycleEvent, GmresOptions, SolveResult};
+use crate::checkpoint::{DriverKind, SolveCheckpoint, SolveControl};
+use crate::gmres::{solve_driver_full, ControlledSolve, CycleEvent, GmresOptions, SolveResult};
 use crate::precond::Preconditioner;
 use spla::SparseMatrix;
+use std::cell::Cell;
 
 /// Options of [`adaptive_gmres`]: the base GMRES options plus the
 /// escalation policy.
@@ -189,8 +191,33 @@ pub fn adaptive_gmres_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
     x0: &[f64],
     opts: &AdaptiveOptions,
     precond: &P,
-    mut observe: impl FnMut(&CycleEvent),
+    observe: impl FnMut(&CycleEvent),
 ) -> SolveResult {
+    adaptive_gmres_controlled(a, b, x0, opts, precond, None, None, observe).result
+}
+
+/// [`adaptive_gmres_observed`] plus the fault-tolerance seam: capture
+/// checkpoints and/or halt at restart boundaries through `control`,
+/// and resume bit-identically from `resume` (see
+/// [`crate::gmres::gmres_with_controlled`] for the contract).
+///
+/// Adaptive extras in the checkpoint: `format` records the rung the
+/// next cycle runs in (escalations already applied), and
+/// `qualifying_streak` carries the de-escalation hysteresis, so the
+/// resumed ladder schedule reproduces exactly. `opts.start_format` is
+/// ignored when resuming (the checkpointed rung wins). Panics if the
+/// checkpoint came from a different driver.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_gmres_controlled<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &AdaptiveOptions,
+    precond: &P,
+    resume: Option<&SolveCheckpoint>,
+    control: Option<&mut dyn FnMut(&SolveCheckpoint) -> SolveControl>,
+    mut observe: impl FnMut(&CycleEvent),
+) -> ControlledSolve {
     let n = a.rows();
     assert!(opts.min_cycle_improvement >= 1.0);
     assert!(opts.max_implicit_explicit_gap >= 1.0);
@@ -198,12 +225,26 @@ pub fn adaptive_gmres_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
     assert!(opts.de_escalation_cycles >= 1);
     let m = opts.gmres.restart;
 
-    let mut format: Box<dyn BasisFormat> = match &opts.start_format {
-        Some(name) => {
-            basis_format::by_name(name).unwrap_or_else(|| panic!("unknown basis format {name}"))
+    let qualifying_streak = Cell::new(0usize);
+    let mut format: Box<dyn BasisFormat> = match resume {
+        Some(cp) => {
+            assert_eq!(
+                cp.driver,
+                DriverKind::Adaptive,
+                "a {:?} checkpoint cannot resume the adaptive driver",
+                cp.driver
+            );
+            qualifying_streak.set(cp.qualifying_streak);
+            basis_format::by_name(&cp.format)
+                .unwrap_or_else(|| panic!("unknown checkpointed basis format {}", cp.format))
         }
-        None => basis_format::by_name(basis_format::ESCALATION_LADDER[0])
-            .expect("ladder base is registered"),
+        None => match &opts.start_format {
+            Some(name) => {
+                basis_format::by_name(name).unwrap_or_else(|| panic!("unknown basis format {name}"))
+            }
+            None => basis_format::by_name(basis_format::ESCALATION_LADDER[0])
+                .expect("ladder base is registered"),
+        },
     };
     let basis = crate::basis::Basis::from_store(format.create(n, m + 1));
 
@@ -211,65 +252,93 @@ pub fn adaptive_gmres_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
     // convergence, non-finite and max_iters guards); this hook adds the
     // rung decision — at most one rung per restart boundary, in either
     // direction, judged on the cycle that just finished.
-    let mut qualifying_streak = 0usize;
-    solve_driver(
-        a,
-        b,
-        x0,
-        &opts.gmres,
-        precond,
-        basis,
-        |boundary, basis, stats| {
-            // First boundary: no finished cycle to judge, only observe.
-            if let Some(prev) = boundary.prev_explicit_rrn {
-                if stagnation(
+    let streak = &qualifying_streak;
+    let on_boundary = |boundary: &crate::gmres::Boundary,
+                       basis: &mut crate::basis::Basis<Box<dyn numfmt::ColumnStorage>>,
+                       stats: &mut crate::gmres::SolveStats| {
+        // First boundary: no finished cycle to judge, only observe.
+        if let Some(prev) = boundary.prev_explicit_rrn {
+            if stagnation(
+                opts,
+                prev,
+                boundary.explicit_rrn,
+                boundary.last_implicit_rrn,
+            )
+            .is_some()
+            {
+                streak.set(0);
+                if let Some(next) = basis_format::escalate(&format.name()) {
+                    format =
+                        basis_format::by_name(&next).expect("escalation targets are registered");
+                    *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                    stats.escalations += 1;
+                    stats.format = basis.format_name();
+                }
+                // Already at the top: nothing stronger to switch
+                // to; keep iterating toward max_iters honestly.
+            } else if opts.de_escalate {
+                if qualifies_for_de_escalation(
                     opts,
                     prev,
                     boundary.explicit_rrn,
                     boundary.last_implicit_rrn,
-                )
-                .is_some()
-                {
-                    qualifying_streak = 0;
-                    if let Some(next) = basis_format::escalate(&format.name()) {
-                        format = basis_format::by_name(&next)
-                            .expect("escalation targets are registered");
-                        *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
-                        stats.escalations += 1;
-                        stats.format = basis.format_name();
-                    }
-                    // Already at the top: nothing stronger to switch
-                    // to; keep iterating toward max_iters honestly.
-                } else if opts.de_escalate {
-                    if qualifies_for_de_escalation(
-                        opts,
-                        prev,
-                        boundary.explicit_rrn,
-                        boundary.last_implicit_rrn,
-                    ) {
-                        qualifying_streak += 1;
-                        if qualifying_streak >= opts.de_escalation_cycles {
-                            qualifying_streak = 0;
-                            if let Some(down) = basis_format::de_escalate(&format.name()) {
-                                format = basis_format::by_name(&down)
-                                    .expect("ladder rungs are registered");
-                                *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
-                                stats.de_escalations += 1;
-                                stats.format = basis.format_name();
-                            }
-                            // At the bottom rung: nothing cheaper to
-                            // reclaim.
+                ) {
+                    streak.set(streak.get() + 1);
+                    if streak.get() >= opts.de_escalation_cycles {
+                        streak.set(0);
+                        if let Some(down) = basis_format::de_escalate(&format.name()) {
+                            format =
+                                basis_format::by_name(&down).expect("ladder rungs are registered");
+                            *basis = crate::basis::Basis::from_store(format.create(n, m + 1));
+                            stats.de_escalations += 1;
+                            stats.format = basis.format_name();
                         }
-                    } else {
-                        qualifying_streak = 0;
+                        // At the bottom rung: nothing cheaper to
+                        // reclaim.
                     }
+                } else {
+                    streak.set(0);
                 }
             }
-            // Telemetry fires after the rung decision, so the event
-            // names the format of the cycle about to run.
-            observe(&CycleEvent::at_boundary(boundary, basis, stats));
-        },
-    )
+        }
+        // Telemetry fires after the rung decision, so the event
+        // names the format of the cycle about to run.
+        observe(&CycleEvent::at_boundary(boundary, basis, stats));
+    };
+
+    match control {
+        Some(c) => {
+            // Stamp the adaptive-only state on top of the scalar
+            // capture before handing the checkpoint to the caller.
+            let mut wrap = |cp: &mut SolveCheckpoint| {
+                cp.driver = DriverKind::Adaptive;
+                cp.qualifying_streak = streak.get();
+                c(cp)
+            };
+            solve_driver_full(
+                a,
+                b,
+                x0,
+                &opts.gmres,
+                precond,
+                basis,
+                on_boundary,
+                Some(&mut wrap),
+                resume,
+            )
+        }
+        None => solve_driver_full(
+            a,
+            b,
+            x0,
+            &opts.gmres,
+            precond,
+            basis,
+            on_boundary,
+            None,
+            resume,
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -587,6 +656,74 @@ mod tests {
             assert!(pair[1].iterations > pair[0].iterations);
             assert!(pair[1].basis_bytes_read >= pair[0].basis_bytes_read);
             assert!(pair[1].basis_bytes_written >= pair[0].basis_bytes_written);
+        }
+    }
+
+    /// Halt the adaptive solve mid-ladder, resume from the captured
+    /// checkpoint, and require the stitched run to reproduce the
+    /// uninterrupted solve bit for bit — escalation schedule included.
+    #[test]
+    fn adaptive_halt_and_resume_is_bit_identical() {
+        let (a, b) = wide_range_system();
+        let x0 = vec![0.0; a.rows()];
+        let opts = adaptive_opts(1e-10, 1200, 30);
+        let base = adaptive_gmres(&a, &b, &x0, &opts, &Identity);
+        assert!(base.stats.converged);
+        assert!(base.stats.escalations >= 1);
+        assert!(base.stats.restarts >= 4, "need several cycles to split");
+
+        let mut taken: Option<SolveCheckpoint> = None;
+        let mut boundaries = 0usize;
+        let mut probe = |cp: &SolveCheckpoint| {
+            boundaries += 1;
+            if boundaries == 4 {
+                taken = Some(cp.clone());
+                SolveControl::Halt
+            } else {
+                SolveControl::Continue
+            }
+        };
+        let first = adaptive_gmres_controlled(
+            &a,
+            &b,
+            &x0,
+            &opts,
+            &Identity,
+            None,
+            Some(&mut probe),
+            |_| {},
+        );
+        assert!(first.halted);
+        let cp = taken.expect("checkpoint captured at halt");
+        assert_eq!(cp.driver, DriverKind::Adaptive);
+
+        // Round-trip through the delta-capable byte format.
+        let bytes = cp.encode(None);
+        let cp = SolveCheckpoint::decode(&bytes, None).expect("decode");
+
+        let resumed = adaptive_gmres_controlled(
+            &a,
+            &b,
+            &vec![0.0; a.rows()],
+            &opts,
+            &Identity,
+            Some(&cp),
+            None,
+            |_| {},
+        );
+        assert!(!resumed.halted);
+        let r = resumed.result;
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.format_trajectory, base.stats.format_trajectory);
+        assert_eq!(r.stats.escalations, base.stats.escalations);
+        assert_eq!(r.stats.iterations, base.stats.iterations);
+        assert_eq!(r.stats.spmv_count, base.stats.spmv_count);
+        assert_eq!(r.history.len(), base.history.len());
+        for (p, q) in r.history.iter().zip(&base.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history");
+        }
+        for (u, v) in r.x.iter().zip(&base.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "solution");
         }
     }
 

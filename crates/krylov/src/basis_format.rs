@@ -28,6 +28,7 @@
 //! orders the formats for [`escalate`], the ladder the adaptive solver
 //! climbs when the explicit residual stops improving.
 
+use crate::checkpoint::SolveControl;
 use crate::gmres::CycleEvent;
 use crate::precond::Preconditioner;
 use frsz2::{Frsz2AdaptiveStore, Frsz2Config, Frsz2Store};
@@ -339,6 +340,72 @@ pub fn gmres_dyn_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
     crate::gmres::solve_driver(a, b, x0, opts, precond, basis, |boundary, basis, stats| {
         observe(&CycleEvent::at_boundary(boundary, basis, stats));
     })
+}
+
+/// [`gmres_dyn_observed`] plus the fault-tolerance seam: capture
+/// checkpoints and/or halt at restart boundaries through `control`,
+/// and resume bit-identically from `resume` — the boxed-storage
+/// equivalent of [`crate::gmres::gmres_with_controlled`] (see there
+/// for the full contract). Panics if the checkpoint came from a
+/// different driver or a different basis format.
+#[allow(clippy::too_many_arguments)]
+pub fn gmres_dyn_controlled<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &crate::gmres::GmresOptions,
+    precond: &P,
+    format: &dyn BasisFormat,
+    resume: Option<&crate::checkpoint::SolveCheckpoint>,
+    control: Option<&mut dyn FnMut(&crate::checkpoint::SolveCheckpoint) -> SolveControl>,
+    mut observe: impl FnMut(&CycleEvent),
+) -> crate::gmres::ControlledSolve {
+    use crate::checkpoint::{DriverKind, SolveCheckpoint};
+    let basis = crate::basis::Basis::from_store(format.create(a.rows(), opts.restart + 1));
+    if let Some(cp) = resume {
+        assert_eq!(
+            cp.driver,
+            DriverKind::Scalar,
+            "a {:?} checkpoint cannot resume the scalar driver",
+            cp.driver
+        );
+        assert_eq!(
+            cp.format,
+            basis.format_name(),
+            "checkpoint format must match the solve format"
+        );
+    }
+    match control {
+        Some(c) => {
+            let mut wrap = |cp: &mut SolveCheckpoint| c(cp);
+            crate::gmres::solve_driver_full(
+                a,
+                b,
+                x0,
+                opts,
+                precond,
+                basis,
+                |boundary, basis, stats| {
+                    observe(&CycleEvent::at_boundary(boundary, basis, stats));
+                },
+                Some(&mut wrap),
+                resume,
+            )
+        }
+        None => crate::gmres::solve_driver_full(
+            a,
+            b,
+            x0,
+            opts,
+            precond,
+            basis,
+            |boundary, basis, stats| {
+                observe(&CycleEvent::at_boundary(boundary, basis, stats));
+            },
+            None,
+            resume,
+        ),
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! exactly the difference between the two.
 
 use crate::basis::Basis;
+use crate::checkpoint::{DriverKind, SolveCheckpoint, SolveControl};
 use crate::precond::Preconditioner;
 use numfmt::ColumnStorage;
 use spla::dense::{axpy, norm2, scale, sub};
@@ -37,6 +38,12 @@ pub struct GmresOptions {
     /// Capture the basis vector written at this global iteration, as
     /// stored (i.e. after compression) — feeds the Fig. 2 histograms.
     pub capture_basis_at: Option<usize>,
+    /// Fault-injection hook (see [`crate::faults`]): poison the
+    /// Hessenberg column computed at this global iteration with a NaN.
+    /// The non-finite breakdown guard must detect it — this hook
+    /// exists so tests and the robustness bench suite can prove that
+    /// deterministically. `None` (the default) injects nothing.
+    pub fault_nan_hessenberg_at: Option<usize>,
 }
 
 impl Default for GmresOptions {
@@ -48,6 +55,7 @@ impl Default for GmresOptions {
             reorth_eta: std::f64::consts::FRAC_1_SQRT_2,
             record_history: true,
             capture_basis_at: None,
+            fault_nan_hessenberg_at: None,
         }
     }
 }
@@ -323,6 +331,15 @@ pub(crate) fn run_cycle<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
             broke_down = hj1 == 0.0 || hj1 < opts.reorth_eta * before; // step 12
         }
 
+        // Fault-injection hook: poison the freshly computed projection
+        // coefficient at the configured global iteration. The guard
+        // below must turn it into a typed breakdown. One-shot: the
+        // breakdown ends the cycle before `iterations` can pass the
+        // trigger, so the hook disarms once a breakdown is on record.
+        if opts.fault_nan_hessenberg_at == Some(stats.iterations) && stats.breakdowns == 0 {
+            ws.h[j] = f64::NAN;
+        }
+
         // NaN-spin guard: a non-finite Hessenberg entry (overflow in
         // ‖w‖² or in the Gram-Schmidt products from a pathological
         // operator) would poison the Givens recurrence with NaN and
@@ -570,6 +587,71 @@ pub(crate) fn boundary_bookkeeping(
     BoundaryDecision::Continue
 }
 
+/// A [`SolveResult`] plus whether a boundary control probe halted the
+/// solve before its natural end (converged/terminal states always win
+/// over the probe, so `halted` implies `!stats.converged`).
+#[derive(Clone, Debug)]
+pub struct ControlledSolve {
+    /// The solve outcome up to the halt (or the full outcome).
+    pub result: SolveResult,
+    /// `true` when the control probe returned [`SolveControl::Halt`].
+    pub halted: bool,
+}
+
+/// Freeze the driver state at a restart boundary into a
+/// [`SolveCheckpoint`] (scalar-driver fields; the adaptive and s-step
+/// drivers overwrite their extra state on top).
+pub(crate) fn boundary_checkpoint<S: ColumnStorage>(
+    rrn: f64,
+    x: &[f64],
+    stats: &SolveStats,
+    history: &[HistoryPoint],
+    basis: &Basis<S>,
+) -> SolveCheckpoint {
+    SolveCheckpoint {
+        driver: DriverKind::Scalar,
+        format: basis.format_name(),
+        x: x.to_vec(),
+        explicit_rrn: rrn,
+        iterations: stats.iterations,
+        restarts: stats.restarts,
+        reorthogonalizations: stats.reorthogonalizations,
+        breakdowns: stats.breakdowns,
+        escalations: stats.escalations,
+        de_escalations: stats.de_escalations,
+        spmv_count: stats.spmv_count,
+        basis_bytes_read: stats.basis_bytes_read,
+        basis_bytes_written: stats.basis_bytes_written,
+        basis_dot_sweeps: stats.basis_dot_sweeps,
+        basis_gemv_sweeps: stats.basis_gemv_sweeps,
+        format_trajectory: stats.format_trajectory.clone(),
+        history: history.to_vec(),
+        qualifying_streak: 0,
+        s_cur: 1,
+        loo_breaches: 0,
+        s_per_cycle: Vec::new(),
+        loo_per_cycle: Vec::new(),
+    }
+}
+
+/// Restore the checkpointed counters, trajectory, and residual stamp
+/// into a fresh [`SolveStats`] (shared by every resuming driver).
+pub(crate) fn restore_stats(stats: &mut SolveStats, cp: &SolveCheckpoint) {
+    stats.iterations = cp.iterations;
+    stats.restarts = cp.restarts;
+    stats.reorthogonalizations = cp.reorthogonalizations;
+    stats.breakdowns = cp.breakdowns;
+    stats.escalations = cp.escalations;
+    stats.de_escalations = cp.de_escalations;
+    stats.spmv_count = cp.spmv_count;
+    stats.basis_bytes_read = cp.basis_bytes_read;
+    stats.basis_bytes_written = cp.basis_bytes_written;
+    stats.basis_dot_sweeps = cp.basis_dot_sweeps;
+    stats.basis_gemv_sweeps = cp.basis_gemv_sweeps;
+    stats.format_trajectory = cp.format_trajectory.clone();
+    stats.final_rrn = cp.explicit_rrn;
+}
+
 /// The one restarted-GMRES driver loop: explicit residual at every
 /// boundary (the ONLY place `converged` is decided — the implicit
 /// Givens estimate inside a cycle never sets it), then one
@@ -583,9 +665,42 @@ pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix 
     x0: &[f64],
     opts: &GmresOptions,
     precond: &P,
+    basis: Basis<S>,
+    on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
+) -> SolveResult {
+    solve_driver_full(a, b, x0, opts, precond, basis, on_boundary, None, None).result
+}
+
+/// [`solve_driver`] plus the fault-tolerance seam: an optional
+/// *control probe* and an optional *resume checkpoint*.
+///
+/// The probe fires at every restart boundary — after the shared
+/// bookkeeping and the `on_boundary` hook (so the format decision for
+/// the next cycle is final), before the cycle runs — with a freshly
+/// captured [`SolveCheckpoint`]. Returning [`SolveControl::Halt`]
+/// stops the solve there; the caller keeps the checkpoint and can
+/// resume later. Convergence is decided *before* the probe, so a halt
+/// can never mask a finished solve. With `control = None` no
+/// checkpoint is ever materialized — the plain path pays nothing.
+///
+/// Resuming replays the capture-time boundary: the iterate, counters,
+/// history, and trajectory are restored, the entry residual is
+/// recomputed (its spmv was already counted before capture, so the
+/// counter is NOT incremented again), and the bookkeeping + hook that
+/// ran before capture are skipped. The continuation is bit-identical
+/// to the uninterrupted solve.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_driver_full<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    precond: &P,
     mut basis: Basis<S>,
     mut on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
-) -> SolveResult {
+    mut control: Option<&mut dyn FnMut(&mut SolveCheckpoint) -> SolveControl>,
+    resume: Option<&SolveCheckpoint>,
+) -> ControlledSolve {
     let n = a.rows();
     assert_eq!(a.cols(), n, "GMRES needs a square matrix");
     assert_eq!(b.len(), n);
@@ -605,11 +720,14 @@ pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix 
         stats.converged = true;
         stats.final_rrn = 0.0;
         stats.wall_time = start.elapsed();
-        return SolveResult {
-            x: vec![0.0; n],
-            stats,
-            history,
-            captured_basis_vector: None,
+        return ControlledSolve {
+            result: SolveResult {
+                x: vec![0.0; n],
+                stats,
+                history,
+                captured_basis_vector: None,
+            },
+            halted: false,
         };
     }
 
@@ -617,27 +735,62 @@ pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix 
     let mut ws = Workspace::new(n, m);
     let mut prev_explicit_rrn: Option<f64> = None;
     let mut last_implicit_rrn: Option<f64> = None;
+    let mut replay = false;
+    if let Some(cp) = resume {
+        assert_eq!(
+            cp.x.len(),
+            n,
+            "checkpoint dimension does not match the operator"
+        );
+        x.copy_from_slice(&cp.x);
+        restore_stats(&mut stats, cp);
+        history = cp.history.clone();
+        replay = true;
+    }
+    let mut halted = false;
 
     loop {
-        // Step 1 / step 18: explicit residual r = b - A x, then the
-        // shared boundary bookkeeping (final_rrn, explicit history
-        // point, converged/terminal decision).
-        let beta = ws.explicit_residual(a, b, &x, &mut stats);
-        let rrn = beta / bnorm;
-        match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
-            BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
-            BoundaryDecision::Continue => {}
+        let beta;
+        let rrn;
+        if replay {
+            replay = false;
+            // Replay of the capture-time boundary: recompute the
+            // residual the checkpoint measured (its spmv is already in
+            // the restored counters, so don't count it again) and skip
+            // the bookkeeping and hook that ran before capture.
+            a.spmv(&x, &mut ws.w);
+            sub(b, &ws.w, &mut ws.r);
+            beta = norm2(&ws.r);
+            rrn = beta / bnorm;
+        } else {
+            // Step 1 / step 18: explicit residual r = b - A x, then the
+            // shared boundary bookkeeping (final_rrn, explicit history
+            // point, converged/terminal decision).
+            beta = ws.explicit_residual(a, b, &x, &mut stats);
+            rrn = beta / bnorm;
+            match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
+                BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
+                BoundaryDecision::Continue => {}
+            }
+
+            on_boundary(
+                &Boundary {
+                    explicit_rrn: rrn,
+                    prev_explicit_rrn,
+                    last_implicit_rrn,
+                },
+                &mut basis,
+                &mut stats,
+            );
         }
 
-        on_boundary(
-            &Boundary {
-                explicit_rrn: rrn,
-                prev_explicit_rrn,
-                last_implicit_rrn,
-            },
-            &mut basis,
-            &mut stats,
-        );
+        if let Some(ctrl) = control.as_mut() {
+            let mut cp = boundary_checkpoint(rrn, &x, &stats, &history, &basis);
+            if matches!(ctrl(&mut cp), SolveControl::Halt) {
+                halted = true;
+                break;
+            }
+        }
 
         stats.format_trajectory.push(basis.format_name());
         let out = run_cycle(
@@ -671,11 +824,63 @@ pub(crate) fn solve_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix 
         0.0
     };
     stats.wall_time = start.elapsed();
-    SolveResult {
-        x,
-        stats,
-        history,
-        captured_basis_vector: captured,
+    ControlledSolve {
+        result: SolveResult {
+            x,
+            stats,
+            history,
+            captured_basis_vector: captured,
+        },
+        halted,
+    }
+}
+
+/// [`gmres_with`] plus the fault-tolerance seam: capture checkpoints
+/// and/or halt at restart boundaries through `control`, and resume a
+/// previous solve bit-identically from `resume`.
+///
+/// The resume contract: build the store with the same format the
+/// checkpoint records (`resume.format`) and pass the same `b`, `opts`,
+/// and preconditioner — the continuation then reproduces the
+/// uninterrupted solve bit for bit (solution, history, counters).
+/// `x0` is ignored when resuming (the checkpointed iterate wins).
+/// Panics if the checkpoint came from a different driver.
+#[allow(clippy::too_many_arguments)]
+pub fn gmres_with_controlled<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOptions,
+    precond: &P,
+    make_store: impl FnOnce(usize, usize) -> S,
+    resume: Option<&SolveCheckpoint>,
+    control: Option<&mut dyn FnMut(&SolveCheckpoint) -> SolveControl>,
+) -> ControlledSolve {
+    if let Some(cp) = resume {
+        assert_eq!(
+            cp.driver,
+            DriverKind::Scalar,
+            "a {:?} checkpoint cannot resume the scalar driver",
+            cp.driver
+        );
+    }
+    let basis = Basis::from_store(make_store(a.rows(), opts.restart + 1));
+    match control {
+        Some(c) => {
+            let mut wrap = |cp: &mut SolveCheckpoint| c(cp);
+            solve_driver_full(
+                a,
+                b,
+                x0,
+                opts,
+                precond,
+                basis,
+                |_, _, _| {},
+                Some(&mut wrap),
+                resume,
+            )
+        }
+        None => solve_driver_full(a, b, x0, opts, precond, basis, |_, _, _| {}, None, resume),
     }
 }
 
@@ -1039,5 +1244,94 @@ mod tests {
         for (a1, a2) in r1.x.iter().zip(&r2.x) {
             assert_eq!(a1.to_bits(), a2.to_bits());
         }
+    }
+
+    #[test]
+    fn fault_nan_hessenberg_is_detected_as_breakdown() {
+        // Poison one Hessenberg entry mid-solve: the non-finite guard
+        // must record a breakdown and the restarted solve must still
+        // converge on fresh cycles.
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.1);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; 512];
+        let mut o = opts(1e-9);
+        o.fault_nan_hessenberg_at = Some(7);
+        let r = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &o, &Identity);
+        assert!(r.stats.converged, "final rrn {}", r.stats.final_rrn);
+        assert!(r.stats.breakdowns >= 1, "the injected NaN went undetected");
+
+        let clean = gmres::<DenseStore<f64>, _, _>(&a, &b, &x0, &opts(1e-9), &Identity);
+        assert_eq!(clean.stats.breakdowns, 0);
+    }
+
+    #[test]
+    fn halt_and_resume_is_bit_identical_to_uninterrupted() {
+        let a = gen::conv_diff_3d(8, 8, 8, [0.3, 0.2, 0.1], 0.1);
+        let (_, b) = manufactured_rhs(&a);
+        let x0 = vec![0.0; 512];
+        let mut o = opts(1e-10);
+        o.restart = 10;
+        let base = gmres::<Frsz2Store, _, _>(&a, &b, &x0, &o, &Identity);
+        assert!(base.stats.converged);
+        assert!(base.stats.restarts >= 3, "need several cycles to split");
+
+        // Halt at the third boundary, then resume from the captured
+        // checkpoint; the stitched solve must equal the base run bit
+        // for bit, including the residual history and counters.
+        let mut taken: Option<SolveCheckpoint> = None;
+        let mut boundaries = 0usize;
+        let mut probe = |cp: &SolveCheckpoint| {
+            boundaries += 1;
+            if boundaries == 3 {
+                taken = Some(cp.clone());
+                SolveControl::Halt
+            } else {
+                SolveControl::Continue
+            }
+        };
+        let first = gmres_with_controlled(
+            &a,
+            &b,
+            &x0,
+            &o,
+            &Identity,
+            Frsz2Store::with_shape,
+            None,
+            Some(&mut probe),
+        );
+        assert!(first.halted);
+        assert!(!first.result.stats.converged);
+        let cp = taken.expect("checkpoint captured at halt");
+        assert_eq!(cp.driver, DriverKind::Scalar);
+
+        // Round-trip the checkpoint through its byte format too.
+        let bytes = cp.encode(None);
+        let cp = SolveCheckpoint::decode(&bytes, None).expect("decode");
+
+        let resumed = gmres_with_controlled(
+            &a,
+            &b,
+            &vec![0.0; 512],
+            &o,
+            &Identity,
+            Frsz2Store::with_shape,
+            Some(&cp),
+            None,
+        );
+        assert!(!resumed.halted);
+        let r = resumed.result;
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.iterations, base.stats.iterations);
+        assert_eq!(r.stats.restarts, base.stats.restarts);
+        assert_eq!(r.stats.spmv_count, base.stats.spmv_count);
+        assert_eq!(r.history.len(), base.history.len());
+        for (p, q) in r.history.iter().zip(&base.history) {
+            assert_eq!(p.iteration, q.iteration);
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history");
+        }
+        for (u, v) in r.x.iter().zip(&base.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "solution");
+        }
+        assert_eq!(r.stats.format_trajectory, base.stats.format_trajectory);
     }
 }

@@ -42,6 +42,14 @@
 //! ([`basis_format::BasisFormat::max_sstep`]) and shrinks it to 1 on
 //! a breach; at `s = 1` the driver delegates to [`gmres::gmres_with`],
 //! bit for bit.
+//!
+//! Fault tolerance lives in [`checkpoint`] and [`faults`]: every
+//! driver exposes a `*_controlled` entry that can capture a
+//! [`checkpoint::SolveCheckpoint`] at any restart boundary, halt
+//! there, and later resume **bit-identically** to the uninterrupted
+//! solve; [`faults`] provides the deterministic fault-injection
+//! harness (basis bit-flips, NaN Hessenberg entries) that proves the
+//! detection paths fire.
 
 #![warn(missing_docs)]
 
@@ -49,24 +57,33 @@ pub mod adaptive;
 pub mod basis;
 pub mod basis_format;
 pub mod block;
+pub mod checkpoint;
 pub mod diagnostics;
+pub mod faults;
 pub mod gmres;
 pub mod precond;
 pub mod sstep;
 
-pub use adaptive::{adaptive_gmres, adaptive_gmres_observed, AdaptiveOptions};
+pub use adaptive::{
+    adaptive_gmres, adaptive_gmres_controlled, adaptive_gmres_observed, AdaptiveOptions,
+};
 pub use basis::Basis;
-pub use basis_format::{auto_basis, gmres_dyn_observed, BasisFormat, ESCALATION_LADDER};
+pub use basis_format::{
+    auto_basis, gmres_dyn_controlled, gmres_dyn_observed, BasisFormat, ESCALATION_LADDER,
+};
 pub use block::{
     block_gmres, block_gmres_dyn, block_gmres_dyn_observed, block_gmres_with, BlockBasis,
     BlockSolveResult,
 };
+pub use checkpoint::{CheckpointError, DriverKind, SolveCheckpoint, SolveControl};
 pub use diagnostics::{history_summary, HistorySummary};
+pub use faults::{BasisBitFlip, FaultInjectingStore, FaultPlan, FaultSpec, FaultyFormat};
 pub use gmres::{
-    gmres, gmres_with, CycleEvent, GmresOptions, HistoryPoint, SolveResult, SolveStats,
+    gmres, gmres_with, gmres_with_controlled, ControlledSolve, CycleEvent, GmresOptions,
+    HistoryPoint, SolveResult, SolveStats,
 };
 pub use precond::{BlockJacobi, Identity, Jacobi, PrecondError, Preconditioner};
 pub use sstep::{
-    loo_budget, sstep_gmres_dyn, sstep_gmres_dyn_observed, sstep_gmres_with, SStepOptions,
-    SStepSolveResult,
+    loo_budget, sstep_gmres_dyn, sstep_gmres_dyn_controlled, sstep_gmres_dyn_observed,
+    sstep_gmres_with, ControlledSStepSolve, SStepOptions, SStepSolveResult,
 };

@@ -62,13 +62,15 @@
 use crate::basis::{Basis, TARGET_CHUNK};
 use crate::basis_format::BasisFormat;
 use crate::block::{gather_col, mgs2_block, pack_interleaved};
+use crate::checkpoint::{DriverKind, SolveCheckpoint, SolveControl};
 use crate::gmres::{
-    boundary_bookkeeping, givens, solve_driver, Boundary, BoundaryDecision, CycleEvent,
-    CycleOutcome, GmresOptions, HistoryPoint, SolveResult, SolveStats, Workspace,
+    boundary_bookkeeping, boundary_checkpoint, givens, restore_stats, solve_driver_full, Boundary,
+    BoundaryDecision, CycleEvent, CycleOutcome, GmresOptions, HistoryPoint, SolveResult,
+    SolveStats, Workspace,
 };
 use crate::precond::Preconditioner;
 use numfmt::ColumnStorage;
-use spla::dense::{axpy, norm2, scale};
+use spla::dense::{axpy, norm2, scale, sub};
 use spla::SparseMatrix;
 use std::time::Instant;
 
@@ -599,11 +601,26 @@ fn measure_loo<S: ColumnStorage>(
     worst
 }
 
+/// A [`SStepSolveResult`] plus whether a boundary control probe halted
+/// the solve before its natural end (same contract as
+/// [`crate::gmres::ControlledSolve`]).
+#[derive(Clone, Debug)]
+pub struct ControlledSStepSolve {
+    /// The solve outcome up to the halt (or the full outcome).
+    pub result: SStepSolveResult,
+    /// `true` when the control probe returned [`SolveControl::Halt`].
+    pub halted: bool,
+}
+
 /// The s-step driver loop: the same boundary structure as the scalar
-/// [`solve_driver`] (explicit residual → shared bookkeeping → hook →
-/// cycle), with the LOO monitor gating `s` between cycles. `s_init`
-/// arrives pre-gated by the caller; `s_init == 1` delegates to
-/// [`solve_driver`] outright, bit-for-bit.
+/// [`crate::gmres::gmres_with`] driver (explicit residual → shared
+/// bookkeeping → hook → cycle), with the LOO monitor gating `s`
+/// between cycles. `s_init` arrives pre-gated by the caller;
+/// `s_init == 1` delegates to the scalar driver outright, bit-for-bit.
+/// `control` and `resume` are the fault-tolerance seam shared with
+/// [`solve_driver_full`]: the checkpoint additionally carries the LOO
+/// monitor state (`s_cur`, breach count, per-cycle widths and
+/// measures) so a resumed solve reproduces the gating schedule.
 #[allow(clippy::too_many_arguments)]
 fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
     a: &A,
@@ -614,19 +631,48 @@ fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
     basis: Basis<S>,
     budget: f64,
     s_init: usize,
-    mut on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
-) -> SStepSolveResult {
+    on_boundary: impl FnMut(&Boundary, &mut Basis<S>, &mut SolveStats),
+    mut control: Option<&mut dyn FnMut(&mut SolveCheckpoint) -> SolveControl>,
+    resume: Option<&SolveCheckpoint>,
+) -> ControlledSStepSolve {
     let opts = &sopts.gmres;
     if s_init <= 1 {
-        let solve = solve_driver(a, b, x0, opts, precond, basis, on_boundary);
-        let cycles = solve.stats.restarts;
-        return SStepSolveResult {
-            solve,
-            s_per_cycle: vec![1; cycles],
-            loo_per_cycle: Vec::new(),
-            loo_breaches: 0,
+        let inner = match control {
+            Some(c) => {
+                // Stamp the s-step identity on the scalar capture so a
+                // delegated checkpoint resumes through this driver.
+                let mut wrap = |cp: &mut SolveCheckpoint| {
+                    cp.driver = DriverKind::SStep;
+                    cp.s_cur = 1;
+                    cp.s_per_cycle = vec![1; cp.restarts];
+                    c(cp)
+                };
+                solve_driver_full(
+                    a,
+                    b,
+                    x0,
+                    opts,
+                    precond,
+                    basis,
+                    on_boundary,
+                    Some(&mut wrap),
+                    resume,
+                )
+            }
+            None => solve_driver_full(a, b, x0, opts, precond, basis, on_boundary, None, resume),
+        };
+        let cycles = inner.result.stats.restarts;
+        return ControlledSStepSolve {
+            result: SStepSolveResult {
+                solve: inner.result,
+                s_per_cycle: vec![1; cycles],
+                loo_per_cycle: Vec::new(),
+                loo_breaches: 0,
+            },
+            halted: inner.halted,
         };
     }
+    let mut on_boundary = on_boundary;
 
     let n = a.rows();
     assert_eq!(a.cols(), n, "GMRES needs a square matrix");
@@ -650,16 +696,19 @@ fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
         stats.converged = true;
         stats.final_rrn = 0.0;
         stats.wall_time = start.elapsed();
-        return SStepSolveResult {
-            solve: SolveResult {
-                x: vec![0.0; n],
-                stats,
-                history,
-                captured_basis_vector: None,
+        return ControlledSStepSolve {
+            result: SStepSolveResult {
+                solve: SolveResult {
+                    x: vec![0.0; n],
+                    stats,
+                    history,
+                    captured_basis_vector: None,
+                },
+                s_per_cycle,
+                loo_per_cycle,
+                loo_breaches,
             },
-            s_per_cycle,
-            loo_per_cycle,
-            loo_breaches,
+            halted: false,
         };
     }
 
@@ -674,24 +723,68 @@ fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
     let mut s_cur = s_init;
     let mut prev_explicit_rrn: Option<f64> = None;
     let mut last_implicit_rrn: Option<f64> = None;
+    let mut replay = false;
+    if let Some(cp) = resume {
+        assert_eq!(
+            cp.x.len(),
+            n,
+            "checkpoint dimension does not match the operator"
+        );
+        x.copy_from_slice(&cp.x);
+        restore_stats(&mut stats, cp);
+        history = cp.history.clone();
+        s_cur = cp.s_cur;
+        loo_breaches = cp.loo_breaches;
+        s_per_cycle = cp.s_per_cycle.clone();
+        loo_per_cycle = cp.loo_per_cycle.clone();
+        replay = true;
+    }
+    let mut halted = false;
 
     loop {
-        let beta = ws.explicit_residual(a, b, &x, &mut stats);
-        let rrn = beta / bnorm;
-        match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
-            BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
-            BoundaryDecision::Continue => {}
+        let beta;
+        let rrn;
+        if replay {
+            replay = false;
+            // Replay of the capture-time boundary: recompute the
+            // residual the checkpoint measured (its spmv is already in
+            // the restored counters) and skip the bookkeeping and hook
+            // that ran before capture.
+            a.spmv(&x, &mut ws.w);
+            sub(b, &ws.w, &mut ws.r);
+            beta = norm2(&ws.r);
+            rrn = beta / bnorm;
+        } else {
+            beta = ws.explicit_residual(a, b, &x, &mut stats);
+            rrn = beta / bnorm;
+            match boundary_bookkeeping(rrn, opts, &mut stats, &mut history) {
+                BoundaryDecision::Converged | BoundaryDecision::Terminal => break,
+                BoundaryDecision::Continue => {}
+            }
+
+            on_boundary(
+                &Boundary {
+                    explicit_rrn: rrn,
+                    prev_explicit_rrn,
+                    last_implicit_rrn,
+                },
+                &mut basis,
+                &mut stats,
+            );
         }
 
-        on_boundary(
-            &Boundary {
-                explicit_rrn: rrn,
-                prev_explicit_rrn,
-                last_implicit_rrn,
-            },
-            &mut basis,
-            &mut stats,
-        );
+        if let Some(ctrl) = control.as_mut() {
+            let mut cp = boundary_checkpoint(rrn, &x, &stats, &history, &basis);
+            cp.driver = DriverKind::SStep;
+            cp.s_cur = s_cur;
+            cp.loo_breaches = loo_breaches;
+            cp.s_per_cycle = s_per_cycle.clone();
+            cp.loo_per_cycle = loo_per_cycle.clone();
+            if matches!(ctrl(&mut cp), SolveControl::Halt) {
+                halted = true;
+                break;
+            }
+        }
 
         stats.format_trajectory.push(basis.format_name());
         s_per_cycle.push(s_cur);
@@ -737,16 +830,19 @@ fn sstep_driver<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?Sized>(
         0.0
     };
     stats.wall_time = start.elapsed();
-    SStepSolveResult {
-        solve: SolveResult {
-            x,
-            stats,
-            history,
-            captured_basis_vector: captured,
+    ControlledSStepSolve {
+        result: SStepSolveResult {
+            solve: SolveResult {
+                x,
+                stats,
+                history,
+                captured_basis_vector: captured,
+            },
+            s_per_cycle,
+            loo_per_cycle,
+            loo_breaches,
         },
-        s_per_cycle,
-        loo_per_cycle,
-        loo_breaches,
+        halted,
     }
 }
 
@@ -778,7 +874,10 @@ pub fn sstep_gmres_with<S: ColumnStorage, P: Preconditioner, A: SparseMatrix + ?
         budget,
         sopts.s.max(1),
         |_, _, _| {},
+        None,
+        None,
     )
+    .result
 }
 
 /// s-step CB-GMRES over a runtime-selected basis format: `s` is gated
@@ -808,26 +907,86 @@ pub fn sstep_gmres_dyn_observed<P: Preconditioner, A: SparseMatrix + ?Sized>(
     sopts: &SStepOptions,
     precond: &P,
     format: &dyn BasisFormat,
-    mut observe: impl FnMut(&CycleEvent),
+    observe: impl FnMut(&CycleEvent),
 ) -> SStepSolveResult {
+    sstep_gmres_dyn_controlled(a, b, x0, sopts, precond, format, None, None, observe).result
+}
+
+/// [`sstep_gmres_dyn_observed`] plus the fault-tolerance seam: capture
+/// checkpoints and/or halt at restart boundaries through `control`,
+/// and resume bit-identically from `resume` (see
+/// [`crate::gmres::gmres_with_controlled`] for the contract).
+///
+/// s-step extras in the checkpoint: the current panel width `s_cur`,
+/// the breach count, and the per-cycle width/LOO records, so a solve
+/// resumed after a mid-run LOO breach stays shrunk exactly where the
+/// uninterrupted solve would. Panics if the checkpoint came from a
+/// different driver or a different basis format.
+#[allow(clippy::too_many_arguments)]
+pub fn sstep_gmres_dyn_controlled<P: Preconditioner, A: SparseMatrix + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: &[f64],
+    sopts: &SStepOptions,
+    precond: &P,
+    format: &dyn BasisFormat,
+    resume: Option<&SolveCheckpoint>,
+    control: Option<&mut dyn FnMut(&SolveCheckpoint) -> SolveControl>,
+    mut observe: impl FnMut(&CycleEvent),
+) -> ControlledSStepSolve {
     let basis = Basis::from_store(format.create(a.rows(), sopts.gmres.restart + 1));
+    if let Some(cp) = resume {
+        assert_eq!(
+            cp.driver,
+            DriverKind::SStep,
+            "a {:?} checkpoint cannot resume the s-step driver",
+            cp.driver
+        );
+        assert_eq!(
+            cp.format,
+            basis.format_name(),
+            "checkpoint format must match the solve format"
+        );
+    }
     let gated = sopts.s.max(1).min(format.max_sstep().max(1));
     let budget = sopts
         .loo_budget
         .unwrap_or_else(|| loo_budget(format.accuracy_floor(), a.rows()));
-    sstep_driver(
-        a,
-        b,
-        x0,
-        sopts,
-        precond,
-        basis,
-        budget,
-        gated,
-        |boundary, basis, stats| {
-            observe(&CycleEvent::at_boundary(boundary, basis, stats));
-        },
-    )
+    match control {
+        Some(c) => {
+            let mut wrap = |cp: &mut SolveCheckpoint| c(cp);
+            sstep_driver(
+                a,
+                b,
+                x0,
+                sopts,
+                precond,
+                basis,
+                budget,
+                gated,
+                |boundary, basis, stats| {
+                    observe(&CycleEvent::at_boundary(boundary, basis, stats));
+                },
+                Some(&mut wrap),
+                resume,
+            )
+        }
+        None => sstep_driver(
+            a,
+            b,
+            x0,
+            sopts,
+            precond,
+            basis,
+            budget,
+            gated,
+            |boundary, basis, stats| {
+                observe(&CycleEvent::at_boundary(boundary, basis, stats));
+            },
+            None,
+            resume,
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -1134,6 +1293,90 @@ mod tests {
         }
         assert_eq!(events.len(), observed.solve.stats.restarts);
         assert!(events.iter().all(|e| e.format == "frsz2_32"));
+    }
+
+    /// Halt the wide s-step solve mid-run, resume from the captured
+    /// checkpoint, and require the stitched run to reproduce the
+    /// uninterrupted solve bit for bit — panel-width schedule included.
+    #[test]
+    fn sstep_halt_and_resume_is_bit_identical() {
+        let (a, b, x0) = test_system();
+        let sopts = SStepOptions {
+            s: 4,
+            loo_budget: None,
+            gmres: GmresOptions {
+                restart: 12,
+                ..opts(1e-9)
+            },
+        };
+        let fmt = by_name("frsz2_21").unwrap();
+        let base = sstep_gmres_dyn(&a, &b, &x0, &sopts, &Identity, fmt.as_ref());
+        assert!(base.solve.stats.converged);
+        assert!(
+            base.solve.stats.restarts >= 3,
+            "need several cycles to split"
+        );
+
+        let mut taken: Option<SolveCheckpoint> = None;
+        let mut boundaries = 0usize;
+        let mut probe = |cp: &SolveCheckpoint| {
+            boundaries += 1;
+            if boundaries == 3 {
+                taken = Some(cp.clone());
+                SolveControl::Halt
+            } else {
+                SolveControl::Continue
+            }
+        };
+        let first = sstep_gmres_dyn_controlled(
+            &a,
+            &b,
+            &x0,
+            &sopts,
+            &Identity,
+            fmt.as_ref(),
+            None,
+            Some(&mut probe),
+            |_| {},
+        );
+        assert!(first.halted);
+        let cp = taken.expect("checkpoint captured at halt");
+        assert_eq!(cp.driver, DriverKind::SStep);
+        assert_eq!(cp.s_per_cycle.len(), 2, "two cycles completed at halt");
+
+        // Round-trip through the byte format.
+        let bytes = cp.encode(None);
+        let cp = SolveCheckpoint::decode(&bytes, None).expect("decode");
+
+        let resumed = sstep_gmres_dyn_controlled(
+            &a,
+            &b,
+            &vec![0.0; a.rows()],
+            &sopts,
+            &Identity,
+            fmt.as_ref(),
+            Some(&cp),
+            None,
+            |_| {},
+        );
+        assert!(!resumed.halted);
+        let r = resumed.result;
+        assert!(r.solve.stats.converged);
+        assert_eq!(r.s_per_cycle, base.s_per_cycle);
+        assert_eq!(r.loo_breaches, base.loo_breaches);
+        assert_eq!(r.loo_per_cycle.len(), base.loo_per_cycle.len());
+        for (p, q) in r.loo_per_cycle.iter().zip(&base.loo_per_cycle) {
+            assert_eq!(p.to_bits(), q.to_bits(), "LOO trace");
+        }
+        assert_eq!(r.solve.stats.iterations, base.solve.stats.iterations);
+        assert_eq!(r.solve.stats.spmv_count, base.solve.stats.spmv_count);
+        assert_eq!(r.solve.history.len(), base.solve.history.len());
+        for (p, q) in r.solve.history.iter().zip(&base.solve.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits(), "history");
+        }
+        for (u, v) in r.solve.x.iter().zip(&base.solve.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "solution");
+        }
     }
 
     #[test]

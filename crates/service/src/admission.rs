@@ -9,6 +9,7 @@
 
 use crate::error::ServiceError;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What to do with a job whose basis reservation does not fit the
 /// remaining budget right now.
@@ -20,7 +21,11 @@ pub enum AdmissionPolicy {
     /// Block until enough in-flight jobs finish for the reservation to
     /// fit. A job whose reservation alone exceeds the whole budget is
     /// still rejected — it could never run.
-    Queue,
+    Queue {
+        /// Give up waiting after this long and return the typed
+        /// [`ServiceError::AdmissionTimeout`]; `None` waits forever.
+        timeout: Option<Duration>,
+    },
 }
 
 /// The byte ledger: budget, policy, and the bytes currently reserved.
@@ -83,9 +88,39 @@ impl Ledger {
                     });
                 }
             }
-            AdmissionPolicy::Queue => {
+            AdmissionPolicy::Queue { timeout: None } => {
                 while *in_use + requested > budget {
                     in_use = self.freed.wait(in_use).expect("ledger lock");
+                }
+            }
+            AdmissionPolicy::Queue {
+                timeout: Some(limit),
+            } => {
+                let start = Instant::now();
+                while *in_use + requested > budget {
+                    let Some(remaining) = limit.checked_sub(start.elapsed()) else {
+                        return Err(ServiceError::AdmissionTimeout {
+                            operator: operator.to_string(),
+                            requested,
+                            budget,
+                            in_use: *in_use,
+                            waited_ms: start.elapsed().as_millis() as u64,
+                        });
+                    };
+                    let (guard, timed_out) = self
+                        .freed
+                        .wait_timeout(in_use, remaining)
+                        .expect("ledger lock");
+                    in_use = guard;
+                    if timed_out.timed_out() && *in_use + requested > budget {
+                        return Err(ServiceError::AdmissionTimeout {
+                            operator: operator.to_string(),
+                            requested,
+                            budget,
+                            in_use: *in_use,
+                            waited_ms: start.elapsed().as_millis() as u64,
+                        });
+                    }
                 }
             }
         }
@@ -148,7 +183,7 @@ mod tests {
 
     #[test]
     fn oversized_request_is_rejected_even_when_queueing() {
-        let ledger = Ledger::new(Some(100), AdmissionPolicy::Queue);
+        let ledger = Ledger::new(Some(100), AdmissionPolicy::Queue { timeout: None });
         assert!(matches!(
             ledger.admit("huge", 101),
             Err(ServiceError::BudgetExceeded { requested: 101, .. })
@@ -158,7 +193,10 @@ mod tests {
     #[test]
     fn queue_policy_waits_for_the_budget_to_drain() {
         use std::sync::Arc;
-        let ledger = Arc::new(Ledger::new(Some(100), AdmissionPolicy::Queue));
+        let ledger = Arc::new(Ledger::new(
+            Some(100),
+            AdmissionPolicy::Queue { timeout: None },
+        ));
         let first = ledger.admit("a", 80).unwrap();
         let waiter = {
             let ledger = Arc::clone(&ledger);
@@ -172,6 +210,56 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         drop(first);
         waiter.join().unwrap();
+        assert_eq!(ledger.in_use(), 0);
+    }
+
+    #[test]
+    fn queue_timeout_surfaces_as_typed_admission_timeout() {
+        let ledger = Ledger::new(
+            Some(100),
+            AdmissionPolicy::Queue {
+                timeout: Some(Duration::from_millis(30)),
+            },
+        );
+        let held = ledger.admit("a", 80).unwrap();
+        let start = Instant::now();
+        let denied = ledger.admit("b", 80).err().expect("must time out");
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "must actually wait out the timeout"
+        );
+        assert!(matches!(
+            denied,
+            ServiceError::AdmissionTimeout {
+                requested: 80,
+                budget: 100,
+                in_use: 80,
+                ..
+            }
+        ));
+        // The timed-out job reserved nothing; capacity still drains.
+        drop(held);
+        assert_eq!(ledger.in_use(), 0);
+        let _b = ledger.admit("b", 80).unwrap();
+    }
+
+    #[test]
+    fn queue_timeout_admits_when_capacity_frees_in_time() {
+        use std::sync::Arc;
+        let ledger = Arc::new(Ledger::new(
+            Some(100),
+            AdmissionPolicy::Queue {
+                timeout: Some(Duration::from_secs(10)),
+            },
+        ));
+        let first = ledger.admit("a", 80).unwrap();
+        let waiter = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || ledger.admit("b", 80).map(drop))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        drop(first);
+        waiter.join().unwrap().unwrap();
         assert_eq!(ledger.in_use(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Solve-job descriptions and the telemetry events they stream.
 
-use krylov::{CycleEvent, GmresOptions};
+use krylov::{CycleEvent, FaultSpec, GmresOptions, SolveCheckpoint, SolveResult};
+use std::time::Duration;
 
 /// How a job picks its Krylov-basis storage format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,6 +17,81 @@ pub enum BasisSelection {
     /// bottom of the escalation ladder, escalate on stagnation
     /// evidence.
     Adaptive,
+}
+
+/// How the service retries a job whose attempt fails to converge
+/// (breakdown, stagnation) or panics.
+///
+/// Each retry of a *numerical* failure escalates the basis format one
+/// rung up the escalation ladder
+/// ([`krylov::basis_format::escalate`]) — the same "compression was
+/// too aggressive, spend more bytes" move the adaptive driver makes
+/// mid-solve, applied across attempts — and sleeps a bounded
+/// exponential backoff first. A panicked attempt is retried at the
+/// same rung (a panic carries no evidence against the format).
+/// Deadline breaches are **not** retried: the caller asked for the
+/// time limit, so the service returns
+/// [`crate::ServiceError::DeadlineExceeded`] with the latest
+/// checkpoint instead of burning more wall clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retries).
+    pub max_retries: usize,
+    /// Backoff before retry `k` (1-based) is
+    /// `min(backoff_base_ms << (k - 1), backoff_max_ms)`.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_max_ms: 100,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and near-zero backoff
+    /// (tests and benches: deterministic count, no wasted wall clock).
+    pub fn quick(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff_base_ms: 0,
+            backoff_max_ms: 0,
+        }
+    }
+
+    /// The backoff to sleep before 1-based retry `k`.
+    pub fn backoff(&self, k: usize) -> Duration {
+        let shift = (k.saturating_sub(1)).min(63) as u32;
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX))
+            .min(self.backoff_max_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// What one job actually took to finish: the result plus the retry
+/// trail. Returned by [`crate::SolverService::solve_report`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The final attempt's solve result.
+    pub result: SolveResult,
+    /// Total attempts run (1 = first attempt succeeded).
+    pub attempts: usize,
+    /// Basis format each attempt started in (`"adaptive"` for
+    /// [`BasisSelection::Adaptive`] jobs); the escalation trail of a
+    /// retried job reads left to right.
+    pub formats_tried: Vec<String>,
+    /// Basis-corruption faults actually injected across all attempts
+    /// (only ever nonzero when [`JobSpec::fault`] armed a
+    /// [`FaultSpec::basis_flip`]).
+    pub faults_injected: u64,
 }
 
 /// One solve job against a registered operator.
@@ -48,6 +124,28 @@ pub struct JobSpec {
     /// admission, and the uncompressed f64 panel scratch is charged
     /// against the basis budget.
     pub sstep: usize,
+    /// Wall-clock budget for the whole job (all retries included).
+    /// Checked cooperatively at every restart boundary: on breach the
+    /// solve halts at the boundary and the service returns
+    /// [`crate::ServiceError::DeadlineExceeded`] carrying the
+    /// boundary's [`SolveCheckpoint`], from which a later job can
+    /// [`JobSpec::resume`] bit-identically. `None` (the default) never
+    /// interrupts.
+    pub deadline: Option<Duration>,
+    /// Retry failed attempts per this policy; `None` (the default)
+    /// runs exactly one attempt.
+    pub retry: Option<RetryPolicy>,
+    /// Resume a previous solve from its checkpoint instead of starting
+    /// fresh. The checkpoint's driver kind and basis format must match
+    /// what this spec resolves to (same `basis`/`sstep`/`opts`); the
+    /// resumed solve is bit-identical to the uninterrupted one. A
+    /// retry that escalates away from the checkpoint's format starts
+    /// that attempt fresh — the checkpoint's compressed trajectory
+    /// belongs to the old format.
+    pub resume: Option<Box<SolveCheckpoint>>,
+    /// Deterministic fault injection (tests, benches, chaos drills);
+    /// `None` (the default) injects nothing. See [`FaultSpec`].
+    pub fault: Option<FaultSpec>,
 }
 
 impl JobSpec {
@@ -62,6 +160,10 @@ impl JobSpec {
             opts: GmresOptions::default(),
             threads: 1,
             sstep: 1,
+            deadline: None,
+            retry: None,
+            resume: None,
+            fault: None,
         }
     }
 }

@@ -40,10 +40,36 @@
 //! caps the bytes reserved by in-flight jobs: a job that does not fit
 //! is rejected with the typed [`ServiceError::BudgetExceeded`] (policy
 //! [`AdmissionPolicy::Reject`]) or parked until capacity frees
-//! ([`AdmissionPolicy::Queue`]) — the service never OOMs on a burst.
-//! Block jobs are charged per lane: `width ×` the single-RHS estimate
-//! (and `8 · rows · (restart + 1) · width` for the adaptive worst
-//! case), so a 16-RHS job cannot sneak in under a single-solve budget.
+//! ([`AdmissionPolicy::Queue`], optionally bounded by a wait timeout
+//! that surfaces as [`ServiceError::AdmissionTimeout`]) — the service
+//! never OOMs on a burst. Block jobs are charged per lane: `width ×`
+//! the single-RHS estimate (and `8 · rows · (restart + 1) · width` for
+//! the adaptive worst case), so a 16-RHS job cannot sneak in under a
+//! single-solve budget.
+//!
+//! # Fault tolerance
+//!
+//! A resident solver outlives individual failures. Each [`JobSpec`]
+//! can carry
+//!
+//! - a **deadline** ([`JobSpec::deadline`]): checked cooperatively at
+//!   every restart boundary; on breach the job returns
+//!   [`ServiceError::DeadlineExceeded`] with the boundary's
+//!   [`SolveCheckpoint`], and a follow-up job can
+//!   [`JobSpec::resume`] from it **bit-identically** to the
+//!   uninterrupted solve;
+//! - a **retry policy** ([`RetryPolicy`]): non-converged attempts are
+//!   retried after bounded exponential backoff with the basis format
+//!   escalated one ladder rung per attempt; panicking attempts are
+//!   caught (`catch_unwind` at the job boundary) and retried at the
+//!   same rung, surfacing as [`ServiceError::JobPanicked`] only when
+//!   retries are exhausted;
+//! - a **fault plan** ([`FaultSpec`]): deterministic basis bit-flips,
+//!   Hessenberg NaNs, injected panics and per-boundary sleeps, used by
+//!   the tests and the `faults` bench suite to prove every detection
+//!   path fires. Detection is structural — convergence is only ever
+//!   decided from the explicit residual `‖b − Ax‖/‖b‖` — so injected
+//!   corruption can slow a solve or fail it, never fake a solution.
 //!
 //! # Example
 //!
@@ -75,8 +101,12 @@ mod service;
 
 pub use admission::AdmissionPolicy;
 pub use error::ServiceError;
-pub use job::{BasisSelection, BlockJobSpec, JobEvent, JobSpec, RhsEvent};
+pub use job::{BasisSelection, BlockJobSpec, JobEvent, JobReport, JobSpec, RetryPolicy, RhsEvent};
 pub use operator::{OperatorInfo, PrecondSpec};
 pub use service::{
     estimated_adaptive_basis_bytes, estimated_basis_bytes, ServiceConfig, SolverService,
 };
+
+// The fault-tolerance vocabulary callers need to drive deadlines,
+// resume, and fault injection without importing `krylov` themselves.
+pub use krylov::{BasisBitFlip, FaultSpec, SolveCheckpoint};

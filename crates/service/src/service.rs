@@ -2,18 +2,33 @@
 
 use crate::admission::{AdmissionPolicy, Ledger};
 use crate::error::ServiceError;
-use crate::job::{BasisSelection, BlockJobSpec, JobEvent, JobSpec, RhsEvent};
+use crate::job::{BasisSelection, BlockJobSpec, JobEvent, JobReport, JobSpec, RhsEvent};
 use crate::operator::{AnalyzedOperator, OperatorInfo, PrecondSpec};
 use krylov::basis_format::{self, BasisFormat};
 use krylov::{
-    adaptive_gmres_observed, block_gmres_dyn_observed, gmres_dyn_observed,
-    sstep_gmres_dyn_observed, AdaptiveOptions, BlockSolveResult, CycleEvent, GmresOptions,
-    SStepOptions, SolveResult,
+    adaptive_gmres_controlled, adaptive_gmres_observed, block_gmres_dyn_observed,
+    gmres_dyn_controlled, sstep_gmres_dyn_controlled, AdaptiveOptions, BlockSolveResult,
+    CycleEvent, FaultPlan, FaultyFormat, GmresOptions, SStepOptions, SolveCheckpoint, SolveControl,
+    SolveResult,
 };
 use spla::Csr;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Best-effort string form of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Service-wide configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -195,8 +210,49 @@ impl SolverService {
     pub fn solve_observed(
         &self,
         spec: &JobSpec,
-        mut observe: impl FnMut(&CycleEvent),
+        observe: impl FnMut(&CycleEvent),
     ) -> Result<SolveResult, ServiceError> {
+        self.solve_report_observed(spec, observe).map(|r| r.result)
+    }
+
+    /// [`SolverService::solve`] returning the full [`JobReport`] —
+    /// the result plus the retry trail (attempt count, the basis
+    /// format each attempt started in, faults injected).
+    pub fn solve_report(&self, spec: &JobSpec) -> Result<JobReport, ServiceError> {
+        self.solve_report_observed(spec, |_| {})
+    }
+
+    /// The fault-tolerant solve path: every `solve*` entry funnels
+    /// here. On top of the plain solve it implements
+    ///
+    /// - **deadlines** ([`JobSpec::deadline`]): checked cooperatively
+    ///   at every restart boundary; on breach the solve halts at the
+    ///   boundary and [`ServiceError::DeadlineExceeded`] carries that
+    ///   boundary's [`SolveCheckpoint`] (deadline breaches are never
+    ///   retried);
+    /// - **resume** ([`JobSpec::resume`]): continue a checkpointed
+    ///   solve bit-identically to the uninterrupted run;
+    /// - **retry with escalation** ([`JobSpec::retry`]): a
+    ///   non-converged attempt (breakdown, stagnation) is retried
+    ///   after a bounded exponential backoff with the basis format
+    ///   escalated one ladder rung
+    ///   ([`krylov::basis_format::escalate`]); a panicked attempt is
+    ///   caught ([`ServiceError::JobPanicked`] once retries are
+    ///   exhausted) and retried at the same rung;
+    /// - **fault injection** ([`JobSpec::fault`]): deterministic basis
+    ///   bit-flips, Hessenberg NaNs, injected panics and per-boundary
+    ///   sleeps, for tests and the `faults` bench suite.
+    ///
+    /// A retry-enabled fixed/auto-format job is admitted at the
+    /// ladder-top (`float64`) worst case up front, like an adaptive
+    /// job: escalating mid-job must not be able to OOM past the
+    /// budget, and re-admitting between attempts could deadlock a
+    /// queued batch.
+    pub fn solve_report_observed(
+        &self,
+        spec: &JobSpec,
+        mut observe: impl FnMut(&CycleEvent),
+    ) -> Result<JobReport, ServiceError> {
         let op = self.operator(&spec.operator)?;
         let rows = op.matrix.rows();
         for vec in std::iter::once(&spec.b).chain(spec.x0.as_ref()) {
@@ -223,7 +279,18 @@ impl SolverService {
             BasisSelection::Adaptive => None,
         };
         let sstep = spec.sstep.max(1);
+        let panel_bytes = if sstep > 1 {
+            2 * 8 * rows as u64 * sstep as u64
+        } else {
+            0
+        };
         let requested = match &format {
+            Some(_) if spec.retry.is_some() => {
+                // Retries may escalate all the way to float64: charge
+                // the ladder-top worst case up front (escalation does
+                // not change the panel scratch).
+                estimated_adaptive_basis_bytes(rows, spec.opts.restart, 1) + panel_bytes
+            }
             Some(f) => estimated_basis_bytes(f.as_ref(), rows, spec.opts.restart, 1, sstep),
             // The adaptive driver owns its own cycle policy and ignores
             // the s-step knob, so no panel scratch is charged.
@@ -243,45 +310,202 @@ impl SolverService {
             .num_threads(spec.threads.max(1))
             .build()
             .expect("job thread pool");
-        let result = pool.install(|| match &format {
-            Some(f) if sstep > 1 => {
-                sstep_gmres_dyn_observed(
-                    op.matrix.as_ref(),
-                    &spec.b,
-                    x0,
-                    &SStepOptions {
-                        s: sstep,
-                        loo_budget: None,
-                        gmres: spec.opts.clone(),
-                    },
-                    &op.precond,
-                    f.as_ref(),
-                    &mut observe,
-                )
-                .solve
+
+        // The deadline clock spans the whole job: retries and their
+        // backoffs burn the same budget as the first attempt.
+        let job_start = Instant::now();
+        let deadline = spec.deadline;
+        let fault = spec.fault.as_ref();
+        let sleep_per_boundary = fault.map_or(0, |f| f.sleep_per_boundary_ms);
+        let fault_fired = Arc::new(AtomicU64::new(0));
+        let max_retries = spec.retry.map_or(0, |r| r.max_retries);
+
+        let mut attempts = 0usize;
+        let mut formats_tried: Vec<String> = Vec::new();
+        // The current rung: retries escalate this one step at a time.
+        let mut format_name: Option<String> = format.as_ref().map(|f| f.name());
+        let mut escalated = false;
+        loop {
+            attempts += 1;
+            formats_tried.push(
+                format_name
+                    .clone()
+                    .unwrap_or_else(|| "adaptive".to_string()),
+            );
+            // Numerical faults are format-gated: after an escalation
+            // moves past `only_in_format`, they stop firing — which is
+            // what makes retry-until-recovered deterministic.
+            let faults_apply = fault
+                .is_some_and(|f| f.applies_to_format(format_name.as_deref().unwrap_or("adaptive")));
+            let mut opts = spec.opts.clone();
+            if faults_apply {
+                opts.fault_nan_hessenberg_at = fault.and_then(|f| f.nan_hessenberg_at);
             }
-            Some(f) => gmres_dyn_observed(
-                op.matrix.as_ref(),
-                &spec.b,
-                x0,
-                &spec.opts,
-                &op.precond,
-                f.as_ref(),
-                &mut observe,
-            ),
-            None => adaptive_gmres_observed(
-                op.matrix.as_ref(),
-                &spec.b,
-                x0,
-                &AdaptiveOptions {
-                    gmres: spec.opts.clone(),
-                    ..AdaptiveOptions::default()
-                },
-                &op.precond,
-                &mut observe,
-            ),
-        });
-        Ok(result)
+            let attempt_format: Option<Box<dyn BasisFormat>> = format_name.as_deref().map(|n| {
+                let base = basis_format::by_name(n).expect("ladder formats are registered");
+                match fault.and_then(|f| f.basis_flip).filter(|_| faults_apply) {
+                    Some(flip) => Box::new(FaultyFormat::new(
+                        base,
+                        FaultPlan {
+                            flip_on_write: Some(flip),
+                            fired: Arc::clone(&fault_fired),
+                        },
+                    )) as Box<dyn BasisFormat>,
+                    None => base,
+                }
+            });
+            // A checkpoint only resumes the format (and driver) it was
+            // captured in: once a retry escalates away, attempts start
+            // fresh.
+            let resume_cp: Option<&SolveCheckpoint> = if escalated {
+                None
+            } else {
+                spec.resume.as_deref()
+            };
+            let panic_now = fault.is_some_and(|f| f.panic_on_attempt == Some(attempts - 1));
+            // Only pay for the boundary probe when something is armed.
+            let control_armed = deadline.is_some() || sleep_per_boundary > 0;
+            let mut halted_cp: Option<SolveCheckpoint> = None;
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if panic_now {
+                    panic!("injected job panic (attempt {})", attempts - 1);
+                }
+                pool.install(|| {
+                    let mut probe = |cp: &SolveCheckpoint| {
+                        if sleep_per_boundary > 0 {
+                            std::thread::sleep(Duration::from_millis(sleep_per_boundary));
+                        }
+                        match deadline {
+                            Some(d) if job_start.elapsed() >= d => {
+                                halted_cp = Some(cp.clone());
+                                SolveControl::Halt
+                            }
+                            _ => SolveControl::Continue,
+                        }
+                    };
+                    let control: Option<&mut dyn FnMut(&SolveCheckpoint) -> SolveControl> =
+                        if control_armed {
+                            Some(&mut probe)
+                        } else {
+                            None
+                        };
+                    match &attempt_format {
+                        Some(f) if sstep > 1 => {
+                            let r = sstep_gmres_dyn_controlled(
+                                op.matrix.as_ref(),
+                                &spec.b,
+                                x0,
+                                &SStepOptions {
+                                    s: sstep,
+                                    loo_budget: None,
+                                    gmres: opts.clone(),
+                                },
+                                &op.precond,
+                                f.as_ref(),
+                                resume_cp,
+                                control,
+                                &mut observe,
+                            );
+                            (r.result.solve, r.halted)
+                        }
+                        Some(f) => {
+                            let r = gmres_dyn_controlled(
+                                op.matrix.as_ref(),
+                                &spec.b,
+                                x0,
+                                &opts,
+                                &op.precond,
+                                f.as_ref(),
+                                resume_cp,
+                                control,
+                                &mut observe,
+                            );
+                            (r.result, r.halted)
+                        }
+                        None => {
+                            let r = adaptive_gmres_controlled(
+                                op.matrix.as_ref(),
+                                &spec.b,
+                                x0,
+                                &AdaptiveOptions {
+                                    gmres: opts.clone(),
+                                    ..AdaptiveOptions::default()
+                                },
+                                &op.precond,
+                                resume_cp,
+                                control,
+                                &mut observe,
+                            );
+                            (r.result, r.halted)
+                        }
+                    }
+                })
+            }));
+
+            match outcome {
+                Err(payload) => {
+                    // Panic isolation: the job dies, the service (and
+                    // the rest of the batch) does not. A panic carries
+                    // no evidence against the format, so retries stay
+                    // on the same rung.
+                    if attempts <= max_retries {
+                        self.backoff(spec, attempts);
+                        continue;
+                    }
+                    return Err(ServiceError::JobPanicked {
+                        operator: spec.operator.clone(),
+                        attempts,
+                        message: panic_message(payload),
+                    });
+                }
+                Ok((_, true)) => {
+                    // Cooperative deadline halt: progress is postponed,
+                    // not lost — the checkpoint resumes bit-identically.
+                    return Err(ServiceError::DeadlineExceeded {
+                        operator: spec.operator.clone(),
+                        deadline_ms: deadline.map_or(0, |d| d.as_millis() as u64),
+                        checkpoint: Box::new(
+                            halted_cp.expect("a halted solve captured its boundary checkpoint"),
+                        ),
+                    });
+                }
+                Ok((result, false)) => {
+                    let report = |result| JobReport {
+                        result,
+                        attempts,
+                        formats_tried: formats_tried.clone(),
+                        faults_injected: fault_fired.load(Ordering::Relaxed),
+                    };
+                    if result.stats.converged || attempts > max_retries {
+                        return Ok(report(result));
+                    }
+                    // Numerical failure (breakdown or stagnation):
+                    // spend more bytes per basis value and try again.
+                    match format_name.as_deref().and_then(basis_format::escalate) {
+                        Some(up) => {
+                            format_name = Some(up);
+                            escalated = true;
+                        }
+                        // Already at the ladder top (or adaptive, which
+                        // escalates internally): nothing smarter to try.
+                        None => return Ok(report(result)),
+                    }
+                    self.backoff(spec, attempts);
+                }
+            }
+        }
+    }
+
+    /// Sleep the bounded exponential backoff before 1-based retry
+    /// `attempt` of `spec`.
+    fn backoff(&self, spec: &JobSpec, attempt: usize) {
+        if let Some(policy) = spec.retry {
+            let pause = policy.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
     }
 
     /// Run one multi-RHS (block) job to completion on the calling
@@ -428,6 +652,11 @@ impl SolverService {
     /// [`SolverService::run_batch`] with telemetry: `on_event` receives
     /// every job's per-cycle [`JobEvent`], interleaved across jobs as
     /// boundaries are reached (events of one job stay in cycle order).
+    ///
+    /// A panicking job — whether its solve panicked past the per-job
+    /// isolation or its observer callback panicked — is reported as
+    /// that job's own [`ServiceError::JobPanicked`]; the other jobs
+    /// and the batch are unaffected.
     pub fn run_batch_observed(
         &self,
         specs: &[JobSpec],
@@ -451,24 +680,46 @@ impl SolverService {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("job thread panicked"))
+                .zip(specs)
+                .map(|(h, spec)| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(ServiceError::JobPanicked {
+                            operator: spec.operator.clone(),
+                            attempts: 1,
+                            message: panic_message(payload),
+                        })
+                    })
+                })
                 .collect()
         })
     }
 
     /// [`SolverService::run_batch`] streaming telemetry through a
     /// channel instead of a callback — the ergonomic form when the
-    /// consumer lives on another thread. Send failures (receiver
-    /// dropped) are ignored: telemetry is best-effort, the solve is
-    /// not.
+    /// consumer lives on another thread. Telemetry is best-effort, the
+    /// solve is not: when the receiver is dropped mid-batch, the first
+    /// failed send flips a disconnected flag, every later event is
+    /// discarded without touching the channel (or the sender lock),
+    /// and the jobs run to completion as if unobserved.
     pub fn run_batch_streaming(
         &self,
         specs: &[JobSpec],
         events: Sender<JobEvent>,
     ) -> Vec<Result<SolveResult, ServiceError>> {
         let events = Mutex::new(events);
+        let disconnected = AtomicBool::new(false);
         self.run_batch_observed(specs, move |event| {
-            let _ = events.lock().expect("event sender lock").send(event);
+            if disconnected.load(Ordering::Relaxed) {
+                return;
+            }
+            if events
+                .lock()
+                .expect("event sender lock")
+                .send(event)
+                .is_err()
+            {
+                disconnected.store(true, Ordering::Relaxed);
+            }
         })
     }
 }
@@ -665,7 +916,7 @@ mod tests {
         // Budget fits exactly one job at a time.
         let service = SolverService::new(ServiceConfig {
             basis_budget_bytes: Some(one_job + one_job / 2),
-            admission: AdmissionPolicy::Queue,
+            admission: AdmissionPolicy::Queue { timeout: None },
         });
         service
             .register_csr("smooth", &a, PrecondSpec::None)
@@ -924,6 +1175,202 @@ mod tests {
             service.solve_block(&spec),
             Err(ServiceError::DimensionMismatch { got: 1, .. })
         ));
+    }
+
+    #[test]
+    fn deadline_halts_with_a_checkpoint_and_resume_is_bit_identical() {
+        use krylov::FaultSpec;
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::Jacobi)
+            .unwrap();
+        let mut base = job("smooth", b, "frsz2_21", 1e-8);
+        base.opts.restart = 10; // several cycles → several boundaries
+        let reference = service.solve(&base).unwrap();
+        assert!(reference.stats.converged);
+        assert!(reference.stats.restarts >= 2);
+
+        // An already-expired deadline halts at the FIRST boundary —
+        // fully deterministic, no timing sensitivity. The sleep fault
+        // doubles as proof the probe path runs.
+        let mut rushed = base.clone();
+        rushed.deadline = Some(Duration::ZERO);
+        rushed.fault = Some(FaultSpec {
+            sleep_per_boundary_ms: 1,
+            ..FaultSpec::default()
+        });
+        let err = service.solve(&rushed).unwrap_err();
+        let ServiceError::DeadlineExceeded {
+            operator,
+            deadline_ms,
+            checkpoint,
+        } = err
+        else {
+            panic!("expected DeadlineExceeded, got {err:?}");
+        };
+        assert_eq!(operator, "smooth");
+        assert_eq!(deadline_ms, 0);
+        assert_eq!(checkpoint.restarts, 0, "halted at the entry boundary");
+
+        // The checkpoint survives its wire format and resumes
+        // bit-identically to the uninterrupted reference.
+        let bytes = checkpoint.encode(None);
+        let restored = krylov::SolveCheckpoint::decode(&bytes, None).unwrap();
+        let mut resumed = base.clone();
+        resumed.resume = Some(Box::new(restored));
+        let result = service.solve(&resumed).unwrap();
+        assert!(result.stats.converged);
+        assert_eq!(result.stats.iterations, reference.stats.iterations);
+        assert_eq!(result.stats.spmv_count, reference.stats.spmv_count);
+        assert_eq!(result.history.len(), reference.history.len());
+        for (p, q) in result.history.iter().zip(&reference.history) {
+            assert_eq!(p.rrn.to_bits(), q.rrn.to_bits());
+        }
+        for (u, v) in result.x.iter().zip(&reference.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn retry_escalates_one_rung_per_attempt_until_recovery() {
+        use crate::job::RetryPolicy;
+        let a = gen::wide_range_conv_diff(6, 6, 6, 24, 0x5202);
+        let (_, b) = manufactured_rhs(&a);
+        let service = SolverService::with_defaults();
+        service.register_csr("wide", &a, PrecondSpec::None).unwrap();
+        // On the wide-dynamic-range operator frsz2_16 stagnates far
+        // above 1e-10; without retries the job simply comes back
+        // non-converged.
+        let mut fragile = job("wide", b, "frsz2_16", 1e-10);
+        fragile.opts.restart = 30;
+        fragile.opts.max_iters = 600;
+        let stuck = service.solve_report(&fragile).unwrap();
+        assert!(!stuck.result.stats.converged);
+        assert_eq!(stuck.attempts, 1);
+
+        // With retries the service walks the escalation ladder one
+        // rung per attempt until a format can hold the target.
+        fragile.retry = Some(RetryPolicy::quick(3));
+        let report = service.solve_report(&fragile).unwrap();
+        assert!(report.result.stats.converged);
+        assert!(report.attempts >= 2, "first rung cannot reach 1e-10");
+        assert_eq!(report.attempts, report.formats_tried.len());
+        assert_eq!(report.formats_tried[0], "frsz2_16");
+        // The trail is a strict prefix walk up the ladder.
+        for (k, name) in report.formats_tried.iter().enumerate() {
+            assert_eq!(name, krylov::ESCALATION_LADDER[k]);
+        }
+    }
+
+    #[test]
+    fn injected_basis_corruption_cannot_cause_false_convergence() {
+        use krylov::{BasisBitFlip, FaultSpec};
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let mut spec = job("smooth", b.clone(), "frsz2_21", 1e-8);
+        spec.opts.restart = 10;
+        // Flip a high exponent bit of an early basis value.
+        spec.fault = Some(FaultSpec {
+            basis_flip: Some(BasisBitFlip {
+                nth_write: 3,
+                index: 17,
+                bit: 62,
+            }),
+            ..FaultSpec::default()
+        });
+        let report = service.solve_report(&spec).unwrap();
+        assert!(report.faults_injected >= 1, "the fault must actually fire");
+        // Detection is structural: if the solver claims convergence,
+        // the *independently recomputed* residual must agree, because
+        // convergence is only ever decided from `‖b − Ax‖/‖b‖`.
+        if report.result.stats.converged {
+            let mut ax = vec![0.0; b.len()];
+            spla::SparseMatrix::spmv(&a, &report.result.x, &mut ax);
+            let rrn = b
+                .iter()
+                .zip(&ax)
+                .map(|(bi, axi)| (bi - axi) * (bi - axi))
+                .sum::<f64>()
+                .sqrt()
+                / b.iter().map(|bi| bi * bi).sum::<f64>().sqrt();
+            assert!(
+                rrn <= spec.opts.target_rrn * 1.0001,
+                "claimed convergence must be real: recomputed rrn {rrn:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_retried_at_the_same_rung() {
+        use crate::job::RetryPolicy;
+        use krylov::FaultSpec;
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        // Without retries: a typed error, not a crashed service.
+        let mut doomed = job("smooth", b.clone(), "frsz2_21", 1e-8);
+        doomed.fault = Some(FaultSpec {
+            panic_on_attempt: Some(0),
+            ..FaultSpec::default()
+        });
+        let err = service.solve(&doomed).unwrap_err();
+        assert!(matches!(
+            &err,
+            ServiceError::JobPanicked { operator, attempts: 1, message }
+                if operator == "smooth" && message.contains("injected")
+        ));
+        // With one retry the second attempt is clean — and a panic
+        // never escalates the format.
+        doomed.retry = Some(RetryPolicy::quick(1));
+        let report = service.solve_report(&doomed).unwrap();
+        assert!(report.result.stats.converged);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.formats_tried, vec!["frsz2_21", "frsz2_21"]);
+        // And the batch survives a panicking member: the healthy job
+        // still converges.
+        let healthy = job("smooth", b, "frsz2_21", 1e-8);
+        let mut batch_member = healthy.clone();
+        batch_member.fault = Some(FaultSpec {
+            panic_on_attempt: Some(0),
+            ..FaultSpec::default()
+        });
+        let results = service.run_batch(&[batch_member, healthy]);
+        assert!(matches!(results[0], Err(ServiceError::JobPanicked { .. })));
+        assert!(results[1].as_ref().unwrap().stats.converged);
+    }
+
+    #[test]
+    fn dropping_the_event_receiver_does_not_disturb_the_batch() {
+        let (a, b) = smooth();
+        let service = SolverService::with_defaults();
+        service
+            .register_csr("smooth", &a, PrecondSpec::None)
+            .unwrap();
+        let mut specs = vec![
+            job("smooth", b.clone(), "frsz2_21", 1e-8),
+            job("smooth", b.clone(), "float64", 1e-10),
+        ];
+        for s in &mut specs {
+            s.opts.restart = 10; // many boundaries → many sends
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(rx); // receiver gone before the first event
+        let results = service.run_batch_streaming(&specs, tx);
+        let reference: Vec<SolveResult> = specs.iter().map(|s| service.solve(s).unwrap()).collect();
+        for (r, q) in results.iter().zip(&reference) {
+            let r = r.as_ref().unwrap();
+            assert!(r.stats.converged);
+            assert_eq!(r.stats.iterations, q.stats.iterations);
+            for (u, v) in r.x.iter().zip(&q.x) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The solver-as-a-service walkthrough: register operators once, run
 //! mixed-format jobs concurrently with streaming telemetry, verify
-//! bit-identity against sequential runs, and watch admission control
-//! reject an over-budget job with a typed error.
+//! bit-identity against sequential runs, watch admission control
+//! reject an over-budget job with a typed error, and survive failures
+//! — a missed deadline resumed bit-identically from its checkpoint and
+//! a stagnating format rescued by retry-with-escalation.
 //!
 //! Run with: `cargo run --release --example solver_service`
 //!
@@ -10,12 +12,12 @@
 //! cleanly.
 
 use frsz2_repro::solver_service::{
-    estimated_basis_bytes, AdmissionPolicy, BasisSelection, JobSpec, PrecondSpec, ServiceConfig,
-    ServiceError, SolverService,
+    estimated_basis_bytes, AdmissionPolicy, BasisSelection, FaultSpec, JobSpec, PrecondSpec,
+    RetryPolicy, ServiceConfig, ServiceError, SolveCheckpoint, SolverService,
 };
 use frsz2_repro::spla::dense::manufactured_rhs;
 use frsz2_repro::spla::gen;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let quiet = std::env::args().any(|a| a == "--quiet");
@@ -165,5 +167,75 @@ fn main() {
     println!(
         "frsz2_21 job admitted under the same budget and converged ({} iters, rrn {:.2e})",
         r.stats.iterations, r.stats.final_rrn
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Surviving failures.
+    //
+    //    (a) Deadline → checkpoint → resume: a zero deadline (made
+    //        deterministic by a per-boundary sleep fault) halts the job
+    //        at its first restart boundary. The typed error carries the
+    //        boundary's checkpoint; serialize it, decode it, and resume
+    //        — the resumed solve is bit-identical to an uninterrupted
+    //        one.
+    // ------------------------------------------------------------------
+    println!("\n== surviving failures ==");
+    let mut plain = job("smooth", &b_smooth, fixed("frsz2_21"), 1e-8, 1);
+    plain.opts.restart = 10; // several boundaries on this easy operator
+    let uninterrupted = service.solve(&plain).expect("reference solve");
+    let mut rushed = plain.clone();
+    rushed.deadline = Some(Duration::ZERO);
+    rushed.fault = Some(FaultSpec {
+        sleep_per_boundary_ms: 1,
+        ..FaultSpec::default()
+    });
+    let checkpoint = match service.solve(&rushed) {
+        Err(ServiceError::DeadlineExceeded { checkpoint, .. }) => checkpoint,
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    };
+    let bytes = checkpoint.encode(None);
+    println!(
+        "deadline hit at restart boundary {} (rrn {:.2e}); checkpoint = {} bytes",
+        checkpoint.restarts,
+        checkpoint.explicit_rrn,
+        bytes.len(),
+    );
+    let mut resumed_spec = plain.clone();
+    resumed_spec.resume = Some(Box::new(
+        SolveCheckpoint::decode(&bytes, None).expect("decode checkpoint"),
+    ));
+    let resumed = service.solve(&resumed_spec).expect("resumed solve");
+    assert!(
+        resumed.x.len() == uninterrupted.x.len()
+            && resumed
+                .x
+                .iter()
+                .zip(&uninterrupted.x)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && resumed.stats.iterations == uninterrupted.stats.iterations,
+        "resume diverged from the uninterrupted solve"
+    );
+    println!(
+        "resumed from the checkpoint: {} iters, rrn {:.2e} — bit-identical to the \
+         uninterrupted solve ✓",
+        resumed.stats.iterations, resumed.stats.final_rrn
+    );
+
+    // ------------------------------------------------------------------
+    //    (b) Retry with escalation: frsz2_16's accuracy floor cannot
+    //        reach 1e-10 on the wide-range operator. A retry policy
+    //        escalates the basis one ladder rung per attempt until the
+    //        explicit residual actually meets the target.
+    // ------------------------------------------------------------------
+    let mut stubborn = job("wide", &b_wide, fixed("frsz2_16"), 1e-10, 1);
+    stubborn.opts.max_iters = 600;
+    stubborn.retry = Some(RetryPolicy::quick(3));
+    let report = service.solve_report(&stubborn).expect("retried job");
+    assert!(report.result.stats.converged, "escalation must recover");
+    println!(
+        "frsz2_16 @ 1e-10 on `wide`: {} attempts ({}) → converged, rrn {:.2e} ✓",
+        report.attempts,
+        report.formats_tried.join(" → "),
+        report.result.stats.final_rrn,
     );
 }

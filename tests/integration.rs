@@ -565,3 +565,123 @@ fn block_solve_end_to_end_per_rhs_convergence_and_width_one_identity() {
         );
     }
 }
+
+/// Satellite (PR 10): checkpoint round-trips across every registered
+/// basis format. Serialize at a mid-solve restart boundary, resume
+/// from the decoded bytes, and require the stitched solve to be
+/// byte-equal to the uninterrupted one — solution, residual history,
+/// and counters — at 1, 2, and 8 threads.
+#[test]
+fn checkpoint_round_trip_is_bit_identical_for_every_format() {
+    use frsz2_repro::krylov::basis_format::{by_name, names};
+    use frsz2_repro::krylov::{gmres_dyn_controlled, SolveCheckpoint, SolveControl};
+
+    let a = gen::conv_diff_3d(6, 6, 6, [0.3, 0.2, 0.1], 0.2);
+    let (_, b) = manufactured_rhs(&a);
+    let x0 = vec![0.0; a.rows()];
+    let opts = GmresOptions {
+        target_rrn: 1e-8,
+        max_iters: 400,
+        restart: 5,
+        ..GmresOptions::default()
+    };
+
+    for name in names() {
+        let fmt = by_name(&name).unwrap();
+        let base = frsz2_repro::krylov::basis_format::gmres_dyn(
+            &a,
+            &b,
+            &x0,
+            &opts,
+            &Identity,
+            fmt.as_ref(),
+        );
+        assert!(
+            base.stats.restarts >= 2,
+            "{name}: need at least two cycles to split the solve"
+        );
+
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (halted, resumed) = pool.install(|| {
+                // Halt at the second boundary (one completed cycle)...
+                let mut taken: Option<Vec<u8>> = None;
+                let mut boundaries = 0usize;
+                let mut probe = |cp: &SolveCheckpoint| {
+                    boundaries += 1;
+                    if boundaries == 2 {
+                        taken = Some(cp.encode(None));
+                        SolveControl::Halt
+                    } else {
+                        SolveControl::Continue
+                    }
+                };
+                let first = gmres_dyn_controlled(
+                    &a,
+                    &b,
+                    &x0,
+                    &opts,
+                    &Identity,
+                    fmt.as_ref(),
+                    None,
+                    Some(&mut probe),
+                    |_| {},
+                );
+                // ...then resume from the serialized bytes.
+                let bytes = taken.expect("checkpoint captured at halt");
+                let cp = SolveCheckpoint::decode(&bytes, None).expect("checkpoint decodes");
+                let resumed = gmres_dyn_controlled(
+                    &a,
+                    &b,
+                    &vec![0.0; a.rows()],
+                    &opts,
+                    &Identity,
+                    fmt.as_ref(),
+                    Some(&cp),
+                    None,
+                    |_| {},
+                );
+                (first, resumed)
+            });
+            assert!(halted.halted, "{name}/{threads}t: probe must halt");
+            let r = resumed.result;
+            assert_eq!(
+                r.stats.converged, base.stats.converged,
+                "{name}/{threads}t: convergence state diverged"
+            );
+            assert_eq!(
+                r.stats.iterations, base.stats.iterations,
+                "{name}/{threads}t: iteration count diverged"
+            );
+            assert_eq!(
+                r.stats.spmv_count, base.stats.spmv_count,
+                "{name}/{threads}t: spmv count diverged"
+            );
+            assert_eq!(
+                r.stats.final_rrn.to_bits(),
+                base.stats.final_rrn.to_bits(),
+                "{name}/{threads}t: final residual diverged"
+            );
+            assert_eq!(r.history.len(), base.history.len(), "{name}/{threads}t");
+            for (p, q) in r.history.iter().zip(&base.history) {
+                assert_eq!(p.iteration, q.iteration, "{name}/{threads}t");
+                assert_eq!(
+                    p.rrn.to_bits(),
+                    q.rrn.to_bits(),
+                    "{name}/{threads}t: residual history diverged at iteration {}",
+                    p.iteration
+                );
+            }
+            for (u, v) in r.x.iter().zip(&base.x) {
+                assert_eq!(
+                    u.to_bits(),
+                    v.to_bits(),
+                    "{name}/{threads}t: solution diverged"
+                );
+            }
+        }
+    }
+}
